@@ -1,0 +1,323 @@
+// Package blinktree is a concurrent B-link tree with simple, robust node
+// deletion, reproducing David Lomet's "Simple, Robust and Highly Concurrent
+// B-trees with Node Deletion" (ICDE 2004).
+//
+// The tree supports fully concurrent reads, writes, range scans and
+// transactions. Structure modifications beyond the mandatory first half
+// split — index-term postings, node consolidations, root changes — are lazy
+// background actions that are simply abandoned when the paper's delete
+// state (a global index-delete counter D_X and per-parent data-delete
+// counters D_D) shows they might touch a deleted node; the B-link-tree
+// property keeps searches correct regardless. Node deletion consolidates
+// any under-utilized node into its left sibling, without waiting for it to
+// empty.
+//
+// Quick start:
+//
+//	t, err := blinktree.Open(blinktree.Options{})
+//	if err != nil { ... }
+//	defer t.Close()
+//	t.Put([]byte("k"), []byte("v"))
+//	v, err := t.Get([]byte("k"))
+//
+// Open with a Path for a durable, write-ahead-logged tree that recovers
+// from crashes; leave Path empty for a volatile in-memory tree.
+package blinktree
+
+import (
+	"errors"
+	"path/filepath"
+
+	"blinktree/internal/core"
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrKeyNotFound is returned by Get and Delete of an absent key.
+	ErrKeyNotFound = core.ErrKeyNotFound
+	// ErrEmptyKey is returned for zero-length keys.
+	ErrEmptyKey = core.ErrEmptyKey
+	// ErrEntryTooLarge is returned when a record cannot fit in a node.
+	ErrEntryTooLarge = core.ErrEntryTooLarge
+	// ErrClosed is returned by operations on a closed tree.
+	ErrClosed = core.ErrClosed
+	// ErrTxnDone is returned by operations on a finished transaction.
+	ErrTxnDone = core.ErrTxnDone
+	// ErrTxnAborted is returned when a transaction was rolled back (as a
+	// deadlock victim, or because delete state invalidated a re-latch);
+	// retry the transaction.
+	ErrTxnAborted = core.ErrTxnAborted
+)
+
+// Baseline selects one of the paper's comparator algorithms instead of the
+// paper's method. The default (BaselinePaper) is the contribution itself.
+type Baseline int
+
+const (
+	// BaselinePaper is the paper's delete-state method (the default).
+	BaselinePaper Baseline = iota
+	// BaselineDrain deletes nodes with the drain approach: only empty
+	// nodes, an extra logged mark, and a reference-drain grace period.
+	BaselineDrain
+	// BaselineSerialSMO serializes all structure modifications under one
+	// global tree latch with eager index-term posting (ARIES/IM-style).
+	BaselineSerialSMO
+	// BaselineNoDelete disables node deletion entirely (and with it latch
+	// coupling and delete-state bookkeeping).
+	BaselineNoDelete
+)
+
+// Options configures a Tree. The zero value is a sensible volatile tree:
+// 4 KiB pages, 4096-node cache, background maintenance workers.
+type Options struct {
+	// Path, when non-empty, is a directory for the durable files
+	// (pages.db, wal.log). The tree is write-ahead logged and recovers
+	// committed state after a crash. Empty means volatile and in-memory.
+	Path string
+
+	// PageSize is the node size in bytes (default 4096).
+	PageSize int
+	// Comparator orders keys; nil means bytewise. A custom comparator must
+	// order the empty key below every non-empty key, and keys comparing
+	// equal are the same record. ScanPrefix and separator truncation are
+	// bytewise-only (truncation is disabled automatically).
+	Comparator func(a, b []byte) int
+	// CacheSize is the buffer pool capacity in nodes (default 4096).
+	CacheSize int
+	// MinFill is the consolidation threshold as a fraction of PageSize
+	// (default 0.30): nodes below it are merged into their left sibling.
+	MinFill float64
+	// Workers is the number of background maintenance goroutines
+	// processing lazy structure modifications (default 2). Use -1 for
+	// none; call Maintain to run maintenance manually.
+	Workers int
+	// Baseline optionally selects a comparator algorithm.
+	Baseline Baseline
+}
+
+// Tree is a concurrent ordered key/value map backed by the B-link tree.
+// All methods are safe for concurrent use.
+type Tree struct {
+	inner *core.Tree
+	// devClose closes the log device on Close (file-backed trees).
+	devClose func() error
+}
+
+// Open creates or recovers a tree.
+func Open(opts Options) (*Tree, error) {
+	cOpts := core.Options{
+		PageSize:  opts.PageSize,
+		CacheSize: opts.CacheSize,
+		MinFill:   opts.MinFill,
+		Workers:   opts.Workers,
+		Compare:   opts.Comparator,
+	}
+	if opts.Workers < 0 {
+		cOpts.Workers = core.WorkersNone
+	}
+	switch opts.Baseline {
+	case BaselinePaper:
+	case BaselineDrain:
+		cOpts.DeletePolicy = core.Drain
+	case BaselineSerialSMO:
+		cOpts.SerializeSMO = true
+	case BaselineNoDelete:
+		cOpts.NoDeleteSupport = true
+	default:
+		return nil, errors.New("blinktree: unknown baseline")
+	}
+
+	t := &Tree{}
+	if opts.Path != "" {
+		pageSize := cOpts.PageSize
+		if pageSize == 0 {
+			pageSize = 4096
+		}
+		store, err := storage.OpenFileStore(filepath.Join(opts.Path, "pages.db"), pageSize)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := wal.OpenFileDevice(filepath.Join(opts.Path, "wal.log"))
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		cOpts.Store = store
+		cOpts.LogDevice = dev
+		t.devClose = dev.Close
+	}
+	inner, err := core.New(cOpts)
+	if err != nil {
+		if t.devClose != nil {
+			t.devClose()
+		}
+		return nil, err
+	}
+	t.inner = inner
+	return t, nil
+}
+
+// Put inserts or replaces the record under key. Keys must be non-empty.
+func (t *Tree) Put(key, val []byte) error { return t.inner.Put(key, val) }
+
+// Get returns a copy of the value under key, or ErrKeyNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) { return t.inner.Get(key) }
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) { return t.inner.Has(key) }
+
+// Delete removes the record under key, or returns ErrKeyNotFound.
+func (t *Tree) Delete(key []byte) error { return t.inner.Delete(key) }
+
+// Scan calls fn for each record in [start, end) in key order; fn returning
+// false stops the scan. start nil/empty scans from the smallest key; end
+// nil scans to the largest. No latches are held across fn calls.
+func (t *Tree) Scan(start, end []byte, fn func(key, val []byte) bool) error {
+	return t.inner.Scan(start, end, fn)
+}
+
+// ScanReverse calls fn for each record in [start, end) in descending key
+// order. Backward iteration cannot ride side pointers, so each leaf
+// boundary crossed costs one descent from the root.
+func (t *Tree) ScanReverse(start, end []byte, fn func(key, val []byte) bool) error {
+	return t.inner.ScanReverse(start, end, fn)
+}
+
+// Min returns the smallest record, or ErrKeyNotFound on an empty tree.
+func (t *Tree) Min() (key, val []byte, err error) { return t.inner.Min() }
+
+// Max returns the largest record, or ErrKeyNotFound on an empty tree.
+func (t *Tree) Max() (key, val []byte, err error) { return t.inner.Max() }
+
+// ScanPrefix calls fn for each record whose key begins with prefix, in
+// ascending key order.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key, val []byte) bool) error {
+	return t.inner.Scan(prefix, prefixSuccessor(prefix), fn)
+}
+
+// prefixSuccessor returns the smallest key greater than every key with the
+// given prefix, or nil (+inf) when no such key exists (all-0xFF prefix).
+func prefixSuccessor(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records in [start, end).
+func (t *Tree) Count(start, end []byte) (int, error) { return t.inner.Count(start, end) }
+
+// BulkLoad populates an empty tree from strictly ascending (key, value)
+// pairs, building it bottom-up at the given fill factor (0 < fill <= 1;
+// 0 defaults to 0.85). Much faster than repeated Put. Returns an error on
+// a non-empty tree or unsorted input. With a durable tree the whole load
+// is one atomic, crash-recoverable action.
+func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) error {
+	return t.inner.BulkLoad(next, fill)
+}
+
+// Len returns the total number of records.
+func (t *Tree) Len() (int, error) { return t.inner.Len() }
+
+// Cursor iterates records in key order without blocking writers between
+// fetches.
+type Cursor struct{ inner *core.Cursor }
+
+// NewCursor returns a cursor over [start, end); end nil means +inf.
+func (t *Tree) NewCursor(start, end []byte) *Cursor {
+	return &Cursor{inner: t.inner.NewCursor(start, end)}
+}
+
+// Next returns the next record, or ok=false at the end of the range.
+func (c *Cursor) Next() (key, val []byte, ok bool, err error) { return c.inner.Next() }
+
+// Seek repositions the cursor so the next Next returns the first record
+// with key >= target.
+func (c *Cursor) Seek(target []byte) { c.inner.Seek(target) }
+
+// Begin starts a transaction with strict two-phase record locking and
+// crash-recoverable rollback.
+func (t *Tree) Begin() (*Txn, error) {
+	x, err := t.inner.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{inner: x}, nil
+}
+
+// Maintain synchronously runs all pending lazy structure modifications
+// (index-term postings, consolidations). Useful with Workers: -1 and before
+// measuring space utilization.
+func (t *Tree) Maintain() { t.inner.DrainTodo() }
+
+// Checkpoint flushes all dirty pages and writes a checkpoint record,
+// bounding recovery time. No-op for volatile trees.
+func (t *Tree) Checkpoint() error { return t.inner.Checkpoint() }
+
+// Verify checks the tree's structural invariants. The tree must be
+// quiescent (no concurrent operations).
+func (t *Tree) Verify() error {
+	t.inner.DrainTodo()
+	return t.inner.Verify()
+}
+
+// Stats returns a snapshot of internal activity counters.
+func (t *Tree) Stats() Stats { return Stats(t.inner.Stats()) }
+
+// Height returns the root level; a single-leaf tree has height 0.
+func (t *Tree) Height() int { return int(t.inner.Height()) }
+
+// Pages returns the number of live pages in the underlying store, the
+// space-utilization measure the node-deletion machinery exists to keep low.
+func (t *Tree) Pages() int { return t.inner.StoreStats().LivePages }
+
+// Close flushes state, stops maintenance workers and releases resources.
+func (t *Tree) Close() error {
+	err := t.inner.Close()
+	if t.devClose != nil {
+		if cerr := t.devClose(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Txn is a transaction: reads and writes acquire record locks held to
+// commit (strict 2PL); Abort rolls every change back.
+type Txn struct{ inner *core.Txn }
+
+// ID returns the transaction identifier.
+func (x *Txn) ID() uint64 { return x.inner.ID() }
+
+// Get reads key under a shared record lock.
+func (x *Txn) Get(key []byte) ([]byte, error) { return x.inner.Get(key) }
+
+// Put writes key under an exclusive record lock.
+func (x *Txn) Put(key, val []byte) error { return x.inner.Put(key, val) }
+
+// Delete removes key under an exclusive record lock.
+func (x *Txn) Delete(key []byte) error { return x.inner.Delete(key) }
+
+// Savepoint marks the current point in the transaction for RollbackTo.
+func (x *Txn) Savepoint() int { return x.inner.Savepoint() }
+
+// RollbackTo undoes every operation performed after the savepoint, leaving
+// the transaction active. Locks taken since are retained (strict 2PL).
+func (x *Txn) RollbackTo(savepoint int) error { return x.inner.RollbackTo(savepoint) }
+
+// Commit makes the transaction durable and releases its locks.
+func (x *Txn) Commit() error { return x.inner.Commit() }
+
+// Abort rolls the transaction back and releases its locks.
+func (x *Txn) Abort() error { return x.inner.Abort() }
+
+// Stats mirrors the tree's internal activity counters; see the field
+// comments on the internal definition for the paper sections each counter
+// measures.
+type Stats core.Stats

@@ -1,0 +1,91 @@
+// Command blinkbench regenerates the experiments in DESIGN.md/EXPERIMENTS.md:
+// every figure of the paper (as an executable walkthrough) and every
+// quantitative claim (as a benchmark table against the comparator
+// algorithms).
+//
+// Usage:
+//
+//	blinkbench -exp all                 # run everything at quick scale
+//	blinkbench -exp E2,E3 -scale full   # specific experiments, full scale
+//	blinkbench -exp figures             # Figures 1-4 walkthrough
+//	blinkbench -list                    # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blinktree/internal/bench"
+	"blinktree/internal/core"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiments to run: all, figures, or comma-separated IDs (E1..E10)")
+		scale   = flag.String("scale", "quick", "quick or full")
+		preload = flag.Int("preload", 0, "override preload record count")
+		ops     = flag.Int("ops", 0, "override measured operation count")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures  Figures 1-4 walkthrough (half splits, access parent)")
+		for _, id := range bench.ExperimentIDs {
+			fmt.Printf("%-8s (see DESIGN.md experiment index)\n", id)
+		}
+		return
+	}
+
+	sc := bench.Quick
+	if *scale == "full" {
+		sc = bench.Full
+	}
+	if *preload > 0 {
+		sc.Preload = *preload
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+	}
+
+	var ids []string
+	runFigures := false
+	switch *exp {
+	case "all":
+		ids = bench.ExperimentIDs
+		runFigures = true
+	case "figures":
+		runFigures = true
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "figures" {
+				runFigures = true
+				continue
+			}
+			if bench.Experiments[id] == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if runFigures {
+		fmt.Println("== Figures 1-4 walkthrough ==")
+		if err := core.WriteFigureWalkthrough(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		tb, err := bench.Experiments[id](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tb.Render(os.Stdout)
+	}
+}

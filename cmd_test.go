@@ -1,0 +1,67 @@
+package blinktree_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"blinktree"
+)
+
+// TestCommandLineTools exercises blinkbench (figures mode), blinkcheck and
+// blinkdump end-to-end against a real durable tree.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd tools are slow to build; skipped in -short")
+	}
+	dir := t.TempDir()
+	tr, err := blinktree.Open(blinktree.Options{Path: dir, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Put([]byte{byte(i >> 8), byte(i), 'k'}, []byte("v"))
+	}
+	x, _ := tr.Begin()
+	x.Put([]byte("txn-key"), []byte("v"))
+	x.Commit()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command("go", args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("run", "./cmd/blinkcheck", "-path", dir, "-pagesize", "1024")
+	if !strings.Contains(out, "ok: tree verified clean") || !strings.Contains(out, "records: 501") {
+		t.Fatalf("blinkcheck output:\n%s", out)
+	}
+
+	out = run("run", "./cmd/blinkdump", "-path", dir, "-pagesize", "1024", "-tree", "-wal")
+	if !strings.Contains(out, "write-ahead log:") || !strings.Contains(out, "tree structure") {
+		t.Fatalf("blinkdump output:\n%s", out)
+	}
+	if !strings.Contains(out, "SMO format") && !strings.Contains(out, "BEGIN") {
+		t.Fatalf("blinkdump WAL section missing records:\n%s", out)
+	}
+
+	out = run("run", "./cmd/blinkbench", "-list")
+	for _, want := range []string{"figures", "E1", "E10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("blinkbench -list missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run("run", "./cmd/blinkbench", "-exp", "figures")
+	for _, want := range []string{"Figure 1", "Figure 4", "aborted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("blinkbench figures missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package blinktree_test
+
+import (
+	"fmt"
+
+	"blinktree"
+)
+
+// Transactions use strict two-phase record locking; Abort rolls back every
+// change, crash-recoverably on durable trees.
+func ExampleTxn() {
+	tree, _ := blinktree.Open(blinktree.Options{})
+	defer tree.Close()
+	tree.Put([]byte("balance"), []byte("100"))
+
+	txn, _ := tree.Begin()
+	txn.Put([]byte("balance"), []byte("0"))
+	txn.Abort() // changed our mind
+
+	v, _ := tree.Get([]byte("balance"))
+	fmt.Println(string(v))
+	// Output: 100
+}
+
+// ScanReverse iterates in descending key order.
+func ExampleTree_ScanReverse() {
+	tree, _ := blinktree.Open(blinktree.Options{})
+	defer tree.Close()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		tree.Put([]byte(k), []byte("v"))
+	}
+	tree.ScanReverse([]byte("b"), []byte("d"), func(k, _ []byte) bool {
+		fmt.Println(string(k))
+		return true
+	})
+	// Output:
+	// c
+	// b
+}
+
+// ScanPrefix visits every key sharing a prefix.
+func ExampleTree_ScanPrefix() {
+	tree, _ := blinktree.Open(blinktree.Options{})
+	defer tree.Close()
+	for _, k := range []string{"user/1", "user/2", "admin/1", "user!"} {
+		tree.Put([]byte(k), []byte("v"))
+	}
+	tree.ScanPrefix([]byte("user/"), func(k, _ []byte) bool {
+		fmt.Println(string(k))
+		return true
+	})
+	// Output:
+	// user/1
+	// user/2
+}
+
+// BulkLoad builds a tree bottom-up from sorted input.
+func ExampleTree_BulkLoad() {
+	tree, _ := blinktree.Open(blinktree.Options{})
+	defer tree.Close()
+	i := 0
+	tree.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= 3 {
+			return nil, nil, false
+		}
+		k := fmt.Sprintf("key-%d", i)
+		i++
+		return []byte(k), []byte("v"), true
+	}, 0.9)
+	n, _ := tree.Len()
+	fmt.Println(n)
+	// Output: 3
+}

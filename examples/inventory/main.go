@@ -1,0 +1,84 @@
+// Inventory: the paper's motivating workload for node deletion (§1.3) —
+// "dropping a set of products from an inventory database" and "purging
+// out-of-date information".
+//
+// The program loads an inventory, purges discontinued product lines (a
+// skewed delete pattern), and compares page occupancy between the paper's
+// delete-state method and the drain baseline, which only deletes empty
+// pages: the drain tree strands under-utilized pages, the delete-state tree
+// consolidates them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+const (
+	productLines    = 40
+	productsPerLine = 500
+)
+
+func sku(line, item int) []byte {
+	return []byte(fmt.Sprintf("sku-%03d-%05d", line, item))
+}
+
+func runScenario(name string, baseline blinktree.Baseline) {
+	tree, err := blinktree.Open(blinktree.Options{
+		PageSize: 1024,
+		MinFill:  0.4,
+		Baseline: baseline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// Load the catalog.
+	for line := 0; line < productLines; line++ {
+		for item := 0; item < productsPerLine; item++ {
+			if err := tree.Put(sku(line, item), []byte("qty=100;loc=warehouse-7")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	tree.Maintain()
+	before, _ := tree.Len()
+
+	// Purge: discontinue 9 of every 10 items in every line (a scattered,
+	// skewed delete pattern — drain's worst case: no leaf ever empties).
+	for line := 0; line < productLines; line++ {
+		for item := 0; item < productsPerLine; item++ {
+			if item%10 != 0 {
+				if err := tree.Delete(sku(line, item)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	// Let lazy consolidation catch up (reads re-discover under-utilization).
+	for r := 0; r < 4; r++ {
+		tree.Maintain()
+		tree.Has(sku(0, 0))
+	}
+	tree.Maintain()
+
+	after, _ := tree.Len()
+	s := tree.Stats()
+	if err := tree.Verify(); err != nil {
+		log.Fatalf("%s: invariant violation: %v", name, err)
+	}
+	fmt.Printf("%-14s records %d -> %d, consolidations=%d, splits=%d\n",
+		name+":", before, after, s.LeafConsolidated+s.IndexConsolidated, s.Splits)
+}
+
+func main() {
+	fmt.Printf("inventory purge: %d lines x %d products, 90%% discontinued\n\n",
+		productLines, productsPerLine)
+	runScenario("delete-state", blinktree.BaselinePaper)
+	runScenario("drain", blinktree.BaselineDrain)
+	fmt.Println("\nthe delete-state tree consolidates under-utilized pages;")
+	fmt.Println("the drain tree cannot (no page ever empties under scattered deletes)")
+}

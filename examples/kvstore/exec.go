@@ -1,0 +1,10 @@
+package main
+
+import "os/exec"
+
+// runSelf re-executes this binary for the load phase, whose abrupt exit
+// models a crash.
+func runSelf(self, phase, dir string) (string, error) {
+	out, err := exec.Command(self, phase, dir).CombinedOutput()
+	return string(out), err
+}

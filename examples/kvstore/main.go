@@ -1,0 +1,138 @@
+// Kvstore: a durable key/value store with write-ahead logging, transactions
+// and crash recovery.
+//
+// The program runs in two phases against the same directory:
+//
+//  1. load  — commit a batch of accounts transactionally, then transfer
+//     money between accounts, leaving one transfer deliberately
+//     uncommitted, and exit WITHOUT a clean close.
+//  2. check — reopen the directory: recovery replays committed work, rolls
+//     back the in-flight transfer, and the balance invariant holds.
+//
+// Run with no arguments to execute both phases in sequence.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+
+	"blinktree"
+)
+
+const accounts = 200
+
+func accountKey(i int) []byte { return []byte(fmt.Sprintf("acct%06d", i)) }
+
+func encode(balance uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], balance)
+	return b[:]
+}
+
+func decode(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+func load(dir string) {
+	tree, err := blinktree.Open(blinktree.Options{Path: dir, PageSize: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Seed the accounts in one transaction: 1000 units each.
+	txn, err := tree.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < accounts; i++ {
+		if err := txn.Put(accountKey(i), encode(1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Committed transfers: move 10 units from account i to i+1.
+	for i := 0; i < 50; i++ {
+		txn, err := tree.Begin()
+		if err != nil {
+			log.Fatal(err)
+		}
+		from, _ := txn.Get(accountKey(i))
+		to, _ := txn.Get(accountKey(i + 1))
+		txn.Put(accountKey(i), encode(decode(from)-10))
+		txn.Put(accountKey(i+1), encode(decode(to)+10))
+		if err := txn.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// An in-flight transfer that never commits: recovery must undo it.
+	inflight, err := tree.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	from, _ := inflight.Get(accountKey(0))
+	inflight.Put(accountKey(0), encode(decode(from)-999))
+
+	fmt.Println("load phase done: 51 committed transactions, 1 in flight")
+	// Exit without Commit/Close: the process "crashes" here. Committed
+	// transactions were flushed at commit; the in-flight one was not.
+	os.Exit(0)
+}
+
+func check(dir string) {
+	tree, err := blinktree.Open(blinktree.Options{Path: dir, PageSize: 1024})
+	if err != nil {
+		log.Fatalf("recovery failed: %v", err)
+	}
+	defer tree.Close()
+	if err := tree.Verify(); err != nil {
+		log.Fatalf("tree ill-formed after recovery: %v", err)
+	}
+	var total uint64
+	n := 0
+	tree.Scan(nil, nil, func(k, v []byte) bool {
+		total += decode(v)
+		n++
+		return true
+	})
+	fmt.Printf("recovered %d accounts, total balance %d\n", n, total)
+	if n != accounts || total != accounts*1000 {
+		log.Fatalf("MONEY CONSERVATION VIOLATED: %d accounts, total %d (want %d, %d)",
+			n, total, accounts, accounts*1000)
+	}
+	fmt.Println("money conserved: committed transfers applied, in-flight transfer rolled back")
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		dir := os.Args[2]
+		switch os.Args[1] {
+		case "load":
+			load(dir)
+		case "check":
+			check(dir)
+		default:
+			log.Fatalf("usage: %s [load|check dir]", os.Args[0])
+		}
+		return
+	}
+	// Both phases in one run: load in a subprocess so its exit models the
+	// crash, then check here.
+	dir, err := os.MkdirTemp("", "blinktree-kvstore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out, err := runSelf(self, "load", dir); err != nil {
+		log.Fatalf("load phase: %v\n%s", err, out)
+	} else {
+		fmt.Print(out)
+	}
+	check(dir)
+}

@@ -1,0 +1,59 @@
+// Quickstart: the five-minute tour of the blinktree public API — puts,
+// gets, deletes, ordered scans, and a transaction with rollback.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+func main() {
+	// A volatile in-memory tree; pass Path for a durable one.
+	tree, err := blinktree.Open(blinktree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// Basic operations.
+	for _, kv := range [][2]string{
+		{"cherry", "red"}, {"apple", "green"}, {"banana", "yellow"},
+	} {
+		if err := tree.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, err := tree.Get([]byte("apple"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("apple = %s\n", v)
+
+	// Ordered range scan (no latches held across callbacks).
+	fmt.Println("all fruit in key order:")
+	tree.Scan(nil, nil, func(k, v []byte) bool {
+		fmt.Printf("  %s = %s\n", k, v)
+		return true
+	})
+
+	// A transaction: strict two-phase locking, full rollback on abort.
+	txn, err := tree.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	txn.Put([]byte("apple"), []byte("bruised"))
+	txn.Delete([]byte("banana"))
+	if err := txn.Abort(); err != nil { // changed our mind
+		log.Fatal(err)
+	}
+	v, _ = tree.Get([]byte("apple"))
+	n, _ := tree.Len()
+	fmt.Printf("after rollback: apple = %s, %d records\n", v, n)
+
+	if err := tree.Verify(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+	fmt.Println("tree verified clean")
+}

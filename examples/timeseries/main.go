@@ -1,0 +1,102 @@
+// Timeseries: a metrics store on the blinktree — bulk-loaded history, live
+// appends, "latest N" queries via reverse scans, and retention purge (the
+// paper's "purging out-of-date information", §1.3) reclaiming pages through
+// node consolidation.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+// pointKey encodes series/timestamp so points sort by series, then time.
+func pointKey(series string, ts uint64) []byte {
+	k := make([]byte, 0, len(series)+9)
+	k = append(k, series...)
+	k = append(k, 0)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], ts)
+	return append(k, b[:]...)
+}
+
+func main() {
+	tree, err := blinktree.Open(blinktree.Options{PageSize: 1024, MinFill: 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	series := []string{"cpu", "disk", "mem"}
+	const history = 30000
+
+	// Bulk-load three series of historical points (sorted input).
+	si, ts := 0, uint64(0)
+	err = tree.BulkLoad(func() ([]byte, []byte, bool) {
+		if si >= len(series) {
+			return nil, nil, false
+		}
+		k := pointKey(series[si], ts)
+		v := []byte(fmt.Sprintf("%.2f", float64(ts%97)))
+		ts++
+		if ts == history {
+			ts = 0
+			si++
+		}
+		return k, v, true
+	}, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := tree.Len()
+	fmt.Printf("bulk-loaded %d points across %d series\n", n, len(series))
+
+	// Live appends.
+	for t := uint64(history); t < history+500; t++ {
+		for _, s := range series {
+			if err := tree.Put(pointKey(s, t), []byte("live")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Latest 5 points of "cpu": a reverse scan from the series' end.
+	fmt.Println("latest cpu points:")
+	count := 0
+	endOfCPU := pointKey("cpu", ^uint64(0))
+	tree.ScanReverse(pointKey("cpu", 0), endOfCPU, func(k, v []byte) bool {
+		tsPart := binary.BigEndian.Uint64(k[len(k)-8:])
+		fmt.Printf("  t=%d value=%s\n", tsPart, v)
+		count++
+		return count < 5
+	})
+
+	// Retention: drop everything older than t=25000 in every series.
+	pagesBefore := tree.Pages()
+	for _, s := range series {
+		tree.Scan(pointKey(s, 0), pointKey(s, 25000), func(k, _ []byte) bool {
+			if err := tree.Delete(k); err != nil {
+				log.Fatal(err)
+			}
+			return true
+		})
+	}
+	for i := 0; i < 4; i++ {
+		tree.Maintain()
+		tree.Has(pointKey("cpu", history)) // re-discover under-utilization
+	}
+	tree.Maintain()
+	pagesAfter := tree.Pages()
+	left, _ := tree.Len()
+	s := tree.Stats()
+	fmt.Printf("retention purge: %d points remain; consolidations=%d\n",
+		left, s.LeafConsolidated+s.IndexConsolidated)
+	fmt.Printf("pages %d -> %d (height %d)\n", pagesBefore, pagesAfter, tree.Height())
+
+	if err := tree.Verify(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+	fmt.Println("tree verified clean")
+}

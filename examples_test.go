@@ -1,0 +1,34 @@
+package blinktree_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each example binary end-to-end; they self-check
+// (order violations, money conservation, invariant verification) and exit
+// non-zero on failure.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped in -short")
+	}
+	examples := map[string]string{
+		"quickstart": "tree verified clean",
+		"kvstore":    "money conserved",
+		"inventory":  "consolidations",
+		"rangescan":  "0 order violations",
+		"timeseries": "tree verified clean",
+	}
+	for name, want := range examples {
+		t.Run(name, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("%s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

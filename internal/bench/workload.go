@@ -1,0 +1,190 @@
+// Package bench generates workloads and runs the experiments that
+// regenerate the paper's figures and quantitative claims (the experiment
+// index lives in DESIGN.md; results are recorded in EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is one workload operation type.
+type OpKind uint8
+
+// Workload operation kinds.
+const (
+	// OpInsert inserts or overwrites a record.
+	OpInsert OpKind = iota
+	// OpSearch reads a record.
+	OpSearch
+	// OpDelete removes a record.
+	OpDelete
+	// OpScan reads a short key range.
+	OpScan
+	// OpModify is a delete immediately followed by an insert of a related
+	// key (an indexed-field update, §1.3 / [5]).
+	OpModify
+)
+
+// Mix is an operation mix in percent; fields must sum to 100.
+type Mix struct {
+	Insert, Search, Delete, Scan, Modify int
+}
+
+func (m Mix) total() int { return m.Insert + m.Search + m.Delete + m.Scan + m.Modify }
+
+// String renders e.g. "i50/s30/d20".
+func (m Mix) String() string {
+	s := ""
+	add := func(tag string, v int) {
+		if v > 0 {
+			if s != "" {
+				s += "/"
+			}
+			s += fmt.Sprintf("%s%d", tag, v)
+		}
+	}
+	add("i", m.Insert)
+	add("s", m.Search)
+	add("d", m.Delete)
+	add("r", m.Scan)
+	add("m", m.Modify)
+	return s
+}
+
+// Dist selects the key popularity distribution.
+type Dist uint8
+
+// Key distributions.
+const (
+	// Uniform draws keys uniformly from the key space.
+	Uniform Dist = iota
+	// Zipf draws keys with a skewed (Zipfian) distribution; hot keys
+	// model the paper's "skewed distribution" delete concern (§1.3).
+	Zipf
+	// Sequential walks the key space in order (purge patterns).
+	Sequential
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Sequential:
+		return "sequential"
+	default:
+		return "dist?"
+	}
+}
+
+// Spec describes a workload.
+type Spec struct {
+	// KeySpace is the number of distinct keys.
+	KeySpace int
+	// Preload is the number of records inserted before measurement.
+	Preload int
+	// Ops is the number of measured operations (across all goroutines).
+	Ops int
+	// Mix is the operation mix.
+	Mix Mix
+	// Dist is the key distribution; ZipfS is the skew (>1; default 1.2).
+	Dist  Dist
+	ZipfS float64
+	// ValueSize is the record value length (default 24).
+	ValueSize int
+	// ScanLen is the number of records per OpScan (default 20).
+	ScanLen int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.KeySpace == 0 {
+		s.KeySpace = 100_000
+	}
+	if s.ValueSize == 0 {
+		s.ValueSize = 24
+	}
+	if s.ScanLen == 0 {
+		s.ScanLen = 20
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.2
+	}
+	return s
+}
+
+// Key renders the i'th key of the key space. Keys are fixed-width so
+// ordering matches integer order.
+func Key(i int) []byte { return []byte(fmt.Sprintf("user%010d", i)) }
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	K    int // key index
+}
+
+// Gen is a per-goroutine deterministic operation generator.
+type Gen struct {
+	spec Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int
+	val  []byte
+}
+
+// NewGen returns a generator for spec with the given seed.
+func NewGen(spec Spec, seed int64) *Gen {
+	spec = spec.withDefaults()
+	g := &Gen{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed)),
+		val:  make([]byte, spec.ValueSize),
+	}
+	if spec.Dist == Zipf {
+		g.zipf = rand.NewZipf(g.rng, spec.ZipfS, 1, uint64(spec.KeySpace-1))
+	}
+	for i := range g.val {
+		g.val[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// NextKey draws a key index from the distribution.
+func (g *Gen) NextKey() int {
+	switch g.spec.Dist {
+	case Zipf:
+		return int(g.zipf.Uint64())
+	case Sequential:
+		k := g.seq % g.spec.KeySpace
+		g.seq++
+		return k
+	default:
+		return g.rng.Intn(g.spec.KeySpace)
+	}
+}
+
+// Next draws the next operation.
+func (g *Gen) Next() Op {
+	m := g.spec.Mix
+	r := g.rng.Intn(m.total())
+	k := g.NextKey()
+	switch {
+	case r < m.Insert:
+		return Op{Kind: OpInsert, K: k}
+	case r < m.Insert+m.Search:
+		return Op{Kind: OpSearch, K: k}
+	case r < m.Insert+m.Search+m.Delete:
+		return Op{Kind: OpDelete, K: k}
+	case r < m.Insert+m.Search+m.Delete+m.Scan:
+		return Op{Kind: OpScan, K: k}
+	default:
+		return Op{Kind: OpModify, K: k}
+	}
+}
+
+// Value returns the (shared, read-only) value payload.
+func (g *Gen) Value() []byte { return g.val }
+
+// ScanLen returns the configured range-scan length.
+func (g *Gen) ScanLen() int { return g.spec.ScanLen }

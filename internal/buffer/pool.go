@@ -1,0 +1,406 @@
+// Package buffer implements the buffer pool: an object cache over a page
+// store with pinning, clock eviction and write-ahead-log-rule enforcement.
+//
+// The pool caches deserialized node objects rather than raw page frames: the
+// tree pins an object, latches it, works on it, and unpins it. Eviction only
+// considers unpinned objects, so a latch can never outlive its node's
+// residency. Before a dirty page is written back, the log is flushed up to
+// the page's LSN (the WAL rule).
+//
+// The paper leans on the cache in two places: latch coupling is cheap
+// because "most internal nodes are in the database's main memory cache"
+// (§2.4), and D_D lives inside parent-of-leaf nodes so it persists across
+// cache eviction (§4.1.2) — which is why eviction must marshal the node
+// including its D_D counter.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blinktree/internal/page"
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// Object is a cacheable, serializable page object. The tree's node type
+// implements it.
+type Object interface {
+	// PageLSN returns the LSN of the last logged change to this page; the
+	// pool flushes the log up to it before write-back.
+	PageLSN() wal.LSN
+	// Marshal serializes the object into exactly pageSize bytes.
+	Marshal(pageSize int) ([]byte, error)
+}
+
+// Codec deserializes page images into Objects.
+type Codec interface {
+	Unmarshal(data []byte) (Object, error)
+}
+
+// Errors returned by the pool.
+var (
+	// ErrPoolFull means every frame is pinned and nothing can be evicted.
+	ErrPoolFull = errors.New("buffer: all frames pinned")
+)
+
+type frameState uint8
+
+const (
+	stateLoading frameState = iota
+	stateReady
+	stateEvicting
+	stateFailed
+)
+
+// frame is one cached object.
+type frame struct {
+	id    page.PageID
+	state frameState
+	obj   Object
+	err   error // load error when stateFailed
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WriteBacks uint64
+	Resident   int
+	Pinned     int
+}
+
+// Pool is the buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	store    storage.Store
+	log      *wal.Log // may be nil: volatile configurations skip the WAL rule
+	codec    Codec
+	capacity int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames map[page.PageID]*frame
+	clock  []page.PageID // eviction scan order
+	hand   int
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	writeBacks atomic.Uint64
+}
+
+// NewPool creates a pool of at most capacity objects over store. log may be
+// nil when no write-ahead logging is configured.
+func NewPool(store storage.Store, log *wal.Log, codec Codec, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{
+		store:    store,
+		log:      log,
+		codec:    codec,
+		capacity: capacity,
+		frames:   make(map[page.PageID]*frame, capacity),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Fetch pins the object for id, loading it from the store if absent. The
+// caller must Unpin when done.
+func (p *Pool) Fetch(id page.PageID) (Object, error) {
+	p.mu.Lock()
+	for {
+		f, ok := p.frames[id]
+		if !ok {
+			break
+		}
+		switch f.state {
+		case stateReady:
+			f.pins++
+			f.ref = true
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return f.obj, nil
+		case stateLoading, stateEvicting:
+			// Someone else is transitioning this frame; wait and retry.
+			p.cond.Wait()
+		case stateFailed:
+			err := f.err
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	// Miss: claim a loading frame, make room, then load outside the mutex.
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &frame{id: id, state: stateLoading, pins: 1, ref: true}
+	p.frames[id] = f
+	p.clock = append(p.clock, id)
+	p.mu.Unlock()
+	p.misses.Add(1)
+
+	data, err := p.store.Read(id)
+	var obj Object
+	if err == nil {
+		obj, err = p.codec.Unmarshal(data)
+	}
+
+	p.mu.Lock()
+	if err != nil {
+		f.state = stateFailed
+		f.err = err
+		f.pins = 0
+		delete(p.frames, id)
+		p.removeFromClock(id)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.obj = obj
+	f.state = stateReady
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return obj, nil
+}
+
+// Insert registers a freshly allocated page's object in the pool, pinned and
+// dirty. The page must already be allocated in the store.
+func (p *Pool) Insert(id page.PageID, obj Object) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[id]; ok {
+		return fmt.Errorf("buffer: Insert of resident page %d", id)
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		return err
+	}
+	p.frames[id] = &frame{id: id, state: stateReady, obj: obj, pins: 1, dirty: true, ref: true}
+	p.clock = append(p.clock, id)
+	return nil
+}
+
+// Unpin releases one pin. If dirty is true the object is marked modified and
+// will be written back before eviction.
+func (p *Pool) Unpin(id page.PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Unpin of unpinned page %d", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 {
+		p.cond.Broadcast()
+	}
+}
+
+// MarkDirty flags a pinned object as modified.
+func (p *Pool) MarkDirty(id page.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok && f.pins > 0 {
+		f.dirty = true
+		return
+	}
+	panic(fmt.Sprintf("buffer: MarkDirty of unpinned page %d", id))
+}
+
+// Discard drops a page from the pool without write-back, for pages being
+// deallocated. The caller must hold the only pin.
+func (p *Pool) Discard(id page.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return
+	}
+	if f.pins > 1 {
+		panic(fmt.Sprintf("buffer: Discard of page %d with %d pins", id, f.pins))
+	}
+	delete(p.frames, id)
+	p.removeFromClock(id)
+	p.cond.Broadcast()
+}
+
+// DiscardIfUnpinned removes id's frame without write-back if no pins are
+// outstanding, then runs release (typically the store deallocation) while
+// still holding the pool mutex, so a concurrent Fetch cannot reload the
+// page's stale image between frame removal and deallocation. It returns
+// false (and does not call release) if the frame is pinned; the caller
+// retries later. A non-resident page is discarded trivially.
+func (p *Pool) DiscardIfUnpinned(id page.PageID, release func() error) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 || f.state != stateReady {
+			return false, nil
+		}
+		delete(p.frames, id)
+		p.removeFromClock(id)
+		p.cond.Broadcast()
+	}
+	if release == nil {
+		return true, nil
+	}
+	return true, release()
+}
+
+// makeRoomLocked evicts clean or dirty unpinned frames until there is room
+// for one more. Caller holds p.mu.
+func (p *Pool) makeRoomLocked() error {
+	for len(p.frames) >= p.capacity {
+		victim := p.pickVictimLocked()
+		if victim == nil {
+			return ErrPoolFull
+		}
+		if err := p.evictLocked(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictimLocked runs the clock hand over unpinned ready frames.
+func (p *Pool) pickVictimLocked() *frame {
+	if len(p.clock) == 0 {
+		return nil
+	}
+	// Two sweeps: the first clears reference bits, the second takes the
+	// first unpinned frame.
+	for sweep := 0; sweep < 2*len(p.clock); sweep++ {
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		id := p.clock[p.hand]
+		p.hand++
+		f := p.frames[id]
+		if f == nil || f.state != stateReady || f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// evictLocked writes back a dirty victim (honoring the WAL rule) and removes
+// it. Caller holds p.mu; the mutex is released around I/O.
+func (p *Pool) evictLocked(f *frame) error {
+	f.state = stateEvicting
+	id, obj, dirty := f.id, f.obj, f.dirty
+	p.mu.Unlock()
+
+	var err error
+	if dirty {
+		err = p.writeBack(id, obj)
+	}
+
+	p.mu.Lock()
+	if err != nil {
+		f.state = stateReady
+		p.cond.Broadcast()
+		return err
+	}
+	delete(p.frames, id)
+	p.removeFromClock(id)
+	p.evictions.Add(1)
+	p.cond.Broadcast()
+	return nil
+}
+
+// writeBack marshals and writes one object, flushing the log first.
+func (p *Pool) writeBack(id page.PageID, obj Object) error {
+	if p.log != nil {
+		if err := p.log.Flush(obj.PageLSN()); err != nil {
+			return err
+		}
+	}
+	data, err := obj.Marshal(p.store.PageSize())
+	if err != nil {
+		return err
+	}
+	if err := p.store.Write(id, data); err != nil {
+		return err
+	}
+	p.writeBacks.Add(1)
+	return nil
+}
+
+func (p *Pool) removeFromClock(id page.PageID) {
+	for i, cid := range p.clock {
+		if cid == id {
+			p.clock = append(p.clock[:i], p.clock[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			return
+		}
+	}
+}
+
+// FlushAll writes back every dirty resident page (pinned or not) without
+// evicting. Used by checkpoints; the caller must ensure no page is being
+// modified concurrently (the tree quiesces or holds latches).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	var dirty []*frame
+	for _, f := range p.frames {
+		if f.state == stateReady && f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range dirty {
+		if err := p.writeBack(f.id, f.obj); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		f.dirty = false
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Resident reports whether id is currently cached (any state).
+func (p *Pool) Resident(id page.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Snapshot returns current pool statistics.
+func (p *Pool) Snapshot() Stats {
+	p.mu.Lock()
+	pinned := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			pinned++
+		}
+	}
+	resident := len(p.frames)
+	p.mu.Unlock()
+	return Stats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		Evictions:  p.evictions.Load(),
+		WriteBacks: p.writeBacks.Load(),
+		Resident:   resident,
+		Pinned:     pinned,
+	}
+}

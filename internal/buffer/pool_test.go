@@ -1,0 +1,380 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blinktree/internal/page"
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// testObj is a minimal Object: a page-sized blob with an LSN header.
+type testObj struct {
+	lsn  wal.LSN
+	data byte // fill byte, for identity checks
+	mu   sync.Mutex
+}
+
+func (o *testObj) PageLSN() wal.LSN {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lsn
+}
+
+func (o *testObj) Marshal(pageSize int) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	buf := make([]byte, pageSize)
+	buf[0] = byte(o.lsn)
+	buf[1] = o.data
+	return buf, nil
+}
+
+type testCodec struct {
+	loads atomic.Uint64
+}
+
+func (c *testCodec) Unmarshal(data []byte) (Object, error) {
+	c.loads.Add(1)
+	return &testObj{lsn: wal.LSN(data[0]), data: data[1]}, nil
+}
+
+func newTestPool(t *testing.T, capacity int) (*Pool, storage.Store, *testCodec) {
+	t.Helper()
+	store := storage.NewMemStore(128)
+	codec := &testCodec{}
+	return NewPool(store, nil, codec, capacity), store, codec
+}
+
+// allocObj allocates a store page holding a testObj with the given fill.
+func allocObj(t *testing.T, p *Pool, store storage.Store, fill byte) page.PageID {
+	t.Helper()
+	id, err := store.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(id, &testObj{data: fill}); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id, true)
+	return id
+}
+
+func TestFetchHitReturnsSameObject(t *testing.T) {
+	p, store, codec := newTestPool(t, 4)
+	id := allocObj(t, p, store, 7)
+	a, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two fetches of a resident page returned different objects")
+	}
+	if codec.loads.Load() != 0 {
+		t.Fatal("resident page was reloaded from store")
+	}
+	p.Unpin(id, false)
+	p.Unpin(id, false)
+	s := p.Snapshot()
+	if s.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", s.Hits)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	p, store, codec := newTestPool(t, 2)
+	a := allocObj(t, p, store, 1)
+	b := allocObj(t, p, store, 2)
+	// Fetching a third page must evict one of the first two and write it
+	// back (both are dirty).
+	c := allocObj(t, p, store, 3)
+	_ = c
+	s := p.Snapshot()
+	if s.Evictions == 0 || s.WriteBacks == 0 {
+		t.Fatalf("stats = %+v, want evictions and writebacks", s)
+	}
+	// Whichever of a/b was evicted must reload with its data intact.
+	for _, id := range []page.PageID{a, b} {
+		obj, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := obj.(*testObj).data
+		want := byte(1)
+		if id == b {
+			want = 2
+		}
+		if got != want {
+			t.Fatalf("page %d data = %d, want %d", id, got, want)
+		}
+		p.Unpin(id, false)
+	}
+	if codec.loads.Load() == 0 {
+		t.Fatal("no reload happened despite eviction")
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	p, store, _ := newTestPool(t, 2)
+	a := allocObj(t, p, store, 1)
+	b := allocObj(t, p, store, 2)
+	// Pin both.
+	if _, err := p.Fetch(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(b); err != nil {
+		t.Fatal(err)
+	}
+	// A third page cannot enter: everything is pinned.
+	id, _ := store.Allocate()
+	if err := p.Insert(id, &testObj{}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("Insert with all pinned: %v, want ErrPoolFull", err)
+	}
+	p.Unpin(a, false)
+	if err := p.Insert(id, &testObj{}); err != nil {
+		t.Fatalf("Insert after unpin: %v", err)
+	}
+	p.Unpin(id, false)
+	p.Unpin(b, false)
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, store, _ := newTestPool(t, 2)
+	id := allocObj(t, p, store, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	p.Unpin(id, false)
+}
+
+func TestMarkDirtyRequiresPin(t *testing.T) {
+	p, store, _ := newTestPool(t, 2)
+	id := allocObj(t, p, store, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty of unpinned page did not panic")
+		}
+	}()
+	p.MarkDirty(id)
+}
+
+func TestDiscardDropsWithoutWriteBack(t *testing.T) {
+	p, store, _ := newTestPool(t, 4)
+	id, _ := store.Allocate()
+	if err := p.Insert(id, &testObj{data: 9}); err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(id)
+	if p.Resident(id) {
+		t.Fatal("discarded page still resident")
+	}
+	if s := p.Snapshot(); s.WriteBacks != 0 {
+		t.Fatalf("Discard wrote back: %+v", s)
+	}
+}
+
+func TestFlushAllPersistsDirtyPages(t *testing.T) {
+	p, store, _ := newTestPool(t, 4)
+	id := allocObj(t, p, store, 42)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := store.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[1] != 42 {
+		t.Fatalf("store image byte = %d, want 42", raw[1])
+	}
+}
+
+func TestWALRuleOnWriteBack(t *testing.T) {
+	store := storage.NewMemStore(128)
+	dev := wal.NewMemDevice()
+	log, err := wal.NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(store, log, &testCodec{}, 4)
+
+	// Log a record, stamp the page with its LSN, do not flush.
+	lsn, err := log.Append(&wal.Record{Type: wal.TBegin, Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := store.Allocate()
+	if err := p.Insert(id, &testObj{lsn: lsn, data: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id, true)
+	if log.FlushedLSN() != 0 {
+		t.Fatal("log flushed prematurely")
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if log.FlushedLSN() < lsn {
+		t.Fatalf("WAL rule violated: page written with FlushedLSN=%d < pageLSN=%d",
+			log.FlushedLSN(), lsn)
+	}
+}
+
+func TestFetchMissingPageFails(t *testing.T) {
+	p, _, _ := newTestPool(t, 4)
+	if _, err := p.Fetch(999); err == nil {
+		t.Fatal("Fetch of unallocated page succeeded")
+	}
+	// The failed frame must not poison later fetches of other pages.
+	if p.Resident(999) {
+		t.Fatal("failed frame left resident")
+	}
+}
+
+func TestConcurrentFetchSingleLoad(t *testing.T) {
+	p, store, codec := newTestPool(t, 8)
+	id := allocObj(t, p, store, 5)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Force out of cache.
+	p2 := NewPool(store, nil, codec, 8)
+	codec.loads.Store(0)
+
+	var wg sync.WaitGroup
+	objs := make([]Object, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj, err := p2.Fetch(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			objs[i] = obj
+		}(i)
+	}
+	wg.Wait()
+	if codec.loads.Load() != 1 {
+		t.Fatalf("loads = %d, want 1 (deduplicated)", codec.loads.Load())
+	}
+	for i := 1; i < 16; i++ {
+		if objs[i] != objs[0] {
+			t.Fatal("concurrent fetches returned different objects")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		p2.Unpin(id, false)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	p, store, _ := newTestPool(t, 4)
+	var ids []page.PageID
+	for i := 0; i < 16; i++ {
+		ids = append(ids, allocObj(t, p, store, byte(i)))
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(seed*31+i*7)%len(ids)]
+				obj, err := p.Fetch(id)
+				if err != nil {
+					t.Errorf("fetch %d: %v", id, err)
+					return
+				}
+				to := obj.(*testObj)
+				to.mu.Lock()
+				want := byte((int(id) - 1) % 16)
+				_ = want
+				to.mu.Unlock()
+				p.Unpin(id, i%3 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every page must still carry its original fill byte after churn.
+	for i, id := range ids {
+		obj, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := obj.(*testObj).data; got != byte(i) {
+			t.Fatalf("page %d data = %d, want %d", id, got, i)
+		}
+		p.Unpin(id, false)
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	p, store, _ := newTestPool(t, 4)
+	id := allocObj(t, p, store, 1)
+	if err := p.Insert(id, &testObj{}); err == nil {
+		t.Fatal("duplicate Insert succeeded")
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	p, store, _ := newTestPool(t, 4)
+	id := allocObj(t, p, store, 1)
+	if _, err := p.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.Resident != 1 || s.Pinned != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	p.Unpin(id, false)
+	if s := p.Snapshot(); s.Pinned != 0 {
+		t.Fatalf("pinned after unpin = %d", s.Pinned)
+	}
+}
+
+func BenchmarkFetchHit(b *testing.B) {
+	store := storage.NewMemStore(128)
+	codec := &testCodec{}
+	p := NewPool(store, nil, codec, 16)
+	id, _ := store.Allocate()
+	if err := p.Insert(id, &testObj{data: 1}); err != nil {
+		b.Fatal(err)
+	}
+	p.Unpin(id, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err := p.Fetch(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = obj
+		p.Unpin(id, false)
+	}
+}
+
+func ExamplePool() {
+	store := storage.NewMemStore(128)
+	pool := NewPool(store, nil, &testCodec{}, 8)
+	id, _ := store.Allocate()
+	_ = pool.Insert(id, &testObj{data: 3})
+	pool.Unpin(id, true)
+	obj, _ := pool.Fetch(id)
+	fmt.Println(obj.(*testObj).data)
+	pool.Unpin(id, false)
+	// Output: 3
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"blinktree/internal/wal"
+)
+
+// TestDrainPolicyEmptyOnly verifies the drain comparator consolidates only
+// empty nodes, so skewed deletes leave under-utilized pages behind (§1.3).
+func TestDrainPolicyEmptyOnly(t *testing.T) {
+	mk := func(policy DeletePolicy) (*Tree, int) {
+		tr := newTestTree(t, Options{PageSize: 512, MinFill: 0.45, DeletePolicy: policy})
+		const n = 2000
+		for i := 0; i < n; i++ {
+			tr.Put(key(i), valb(i))
+		}
+		tr.DrainTodo()
+		// Skewed purge: delete 90% of records, scattered.
+		for i := 0; i < n; i++ {
+			if i%10 != 0 {
+				tr.Delete(key(i))
+			}
+		}
+		for r := 0; r < 6; r++ {
+			tr.DrainTodo()
+			tr.Has(key(0))
+		}
+		mustVerify(t, tr)
+		return tr, tr.StoreStats().LivePages
+	}
+	_, pagesDeleteState := mk(DeleteState)
+	drainTr, pagesDrain := mk(Drain)
+	if pagesDrain <= pagesDeleteState {
+		t.Fatalf("drain policy should strand more pages: drain=%d delete-state=%d",
+			pagesDrain, pagesDeleteState)
+	}
+	if drainTr.Stats().LeafConsolidated != 0 {
+		// Scattered survivors keep every leaf non-empty, so drain never
+		// consolidates anything here.
+		t.Logf("note: drain consolidated %d empty leaves", drainTr.Stats().LeafConsolidated)
+	}
+}
+
+// TestDrainPolicyConsolidatesEmptyNodes checks drain does delete nodes once
+// they are fully empty, after the grace period.
+func TestDrainPolicyConsolidatesEmptyNodes(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, MinFill: 0.45, DeletePolicy: Drain})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	tr.DrainTodo()
+	before := tr.StoreStats().LivePages
+	// Range purge: delete a contiguous prefix so whole leaves empty out.
+	for i := 0; i < n-100; i++ {
+		tr.Delete(key(i))
+	}
+	for r := 0; r < 8; r++ {
+		tr.DrainTodo()
+		tr.Has(key(n - 1))
+	}
+	mustVerify(t, tr)
+	if got := tr.Stats().LeafConsolidated; got == 0 {
+		t.Fatal("drain never consolidated fully empty leaves")
+	}
+	after := tr.StoreStats().LivePages
+	if after >= before {
+		t.Fatalf("live pages did not shrink under range purge: %d -> %d", before, after)
+	}
+	if tr.DrainPending() != 0 {
+		t.Fatalf("husks left after quiescent drain: %d", tr.DrainPending())
+	}
+}
+
+// TestDrainMarkLogged verifies the comparator's extra log record per
+// consolidation (§1.3 point 2).
+func TestDrainMarkLogged(t *testing.T) {
+	dev := wal.NewMemDevice()
+	tr := newTestTree(t, Options{
+		PageSize: 512, MinFill: 0.45, DeletePolicy: Drain, LogDevice: dev,
+	})
+	const n = 1200
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	tr.DrainTodo()
+	for i := 0; i < n; i++ {
+		tr.Delete(key(i))
+	}
+	for r := 0; r < 8; r++ {
+		tr.DrainTodo()
+		tr.Has(key(0))
+	}
+	if tr.Stats().LeafConsolidated == 0 {
+		t.Fatal("setup: no consolidations")
+	}
+	tr.log.FlushAll()
+	recs, err := tr.log.DurableRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marks, consolidates int
+	for _, r := range recs {
+		if r.Type == wal.TSMO {
+			switch r.SMO {
+			case wal.SMODrainMark:
+				marks++
+			case wal.SMOConsolidate:
+				consolidates++
+			}
+		}
+	}
+	if marks == 0 {
+		t.Fatal("no drain-mark records logged")
+	}
+	if marks != consolidates {
+		t.Fatalf("marks (%d) != consolidations (%d)", marks, consolidates)
+	}
+}
+
+// TestSerializeSMOCorrectness runs the ARIES/IM comparator through the
+// standard concurrent workload: same results, serialized SMOs.
+func TestSerializeSMOCorrectness(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, SerializeSMO: true, Workers: 2})
+	const goroutines, per = 6, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := g*per + i
+				if err := tr.Put(key(k), valb(k)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mustVerify(t, tr)
+	for k := 0; k < goroutines*per; k++ {
+		got, err := tr.Get(key(k))
+		if err != nil || !bytes.Equal(got, valb(k)) {
+			t.Fatalf("get %d: %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestSerializeSMOPostsAreEager: with the ARIES/IM comparator, index terms
+// are posted before the triggering insert returns — no pending postings, no
+// side traversals on later lookups.
+func TestSerializeSMOPostsAreEager(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, SerializeSMO: true})
+	const n = 800
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := tr.TodoLen(); q != 0 {
+		t.Fatalf("pending SMOs after eager mode inserts: %d", q)
+	}
+	side := tr.Stats().SideTraversals
+	for i := 0; i < n; i++ {
+		tr.Get(key(i))
+	}
+	if got := tr.Stats().SideTraversals; got != side {
+		t.Fatalf("side traversals in eager mode lookups: %d", got-side)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializeSMODeleteEmptyOnly: the ARIES/IM comparator also requires
+// empty pages for node deletes.
+func TestSerializeSMODeleteEmptyOnly(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, MinFill: 0.45, SerializeSMO: true, Workers: 2})
+	const n = 1500
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	// Range purge empties leaves: consolidation must happen.
+	for i := 0; i < n-50; i++ {
+		if err := tr.Delete(key(i)); err != nil && !errors.Is(err, ErrKeyNotFound) {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 8; r++ {
+		tr.DrainTodo()
+		tr.Has(key(n - 1))
+	}
+	mustVerify(t, tr)
+	if tr.Stats().LeafConsolidated == 0 {
+		t.Fatal("no consolidation of empty leaves in serialize mode")
+	}
+}
+
+// TestPoliciesAgreeOnContents: all four configurations produce identical
+// record contents for the same operation sequence.
+func TestPoliciesAgreeOnContents(t *testing.T) {
+	configs := map[string]Options{
+		"delete-state": {PageSize: 512, MinFill: 0.4},
+		"drain":        {PageSize: 512, MinFill: 0.4, DeletePolicy: Drain},
+		"ariesim":      {PageSize: 512, MinFill: 0.4, SerializeSMO: true},
+		"nodelete":     {PageSize: 512, NoDeleteSupport: true},
+	}
+	var want map[string][]byte
+	for name, opts := range configs {
+		t.Run(name, func(t *testing.T) {
+			tr := newTestTree(t, opts)
+			for i := 0; i < 900; i++ {
+				tr.Put(key(i%300), []byte{byte(i)})
+			}
+			for i := 0; i < 300; i += 3 {
+				tr.Delete(key(i))
+			}
+			mustVerify(t, tr)
+			got, err := tr.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d records, want %d", name, len(got), len(want))
+			}
+			for k, v := range want {
+				if !bytes.Equal(got[k], v) {
+					t.Fatalf("%s: mismatch at %q", name, k)
+				}
+			}
+		})
+	}
+}

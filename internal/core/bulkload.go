@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"blinktree/internal/latch"
+	"blinktree/internal/page"
+	"blinktree/internal/wal"
+)
+
+// ErrNotEmpty is returned by BulkLoad on a tree that already has records.
+var ErrNotEmpty = errors.New("blinktree: bulk load requires an empty tree")
+
+// BulkLoad populates an empty tree from strictly ascending (key, value)
+// pairs, building it bottom-up: leaves are packed to fill*PageSize, then
+// each index level is built over the one below. This is far faster than
+// repeated Put (no traversals, no splits) and yields a tree at the chosen
+// fill factor.
+//
+// next returns the stream; ok=false ends it. fill in (0,1] defaults to
+// 0.85. The tree must be empty; concurrent operations are blocked for the
+// duration (the load holds the checkpoint gate exclusively). With logging
+// enabled the entire load is one atomic SMO record: after a crash the load
+// either happened completely or not at all.
+func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.ckpt.Lock()
+	defer t.ckpt.Unlock()
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.todo.drain() // quiesce pending maintenance before replacing the root
+	if fill <= 0 || fill > 1 {
+		fill = 0.85
+	}
+	target := int(fill * float64(t.opts.PageSize))
+
+	oldRoot, oldLevel := t.readAnchor()
+	if oldLevel != 0 {
+		return ErrNotEmpty
+	}
+	r, err := t.fetch(oldRoot)
+	if err != nil {
+		return err
+	}
+	empty := len(r.c.Keys) == 0
+	t.pool.Unpin(oldRoot, false)
+	if !empty {
+		return ErrNotEmpty
+	}
+
+	// Build the leaf level.
+	var nodes []*node // all created nodes, for logging and unpinning
+	var level []*node // current level being built
+	done := false
+	defer func() {
+		if done {
+			return
+		}
+		// Failed load: the built pages are unreferenced; release and free
+		// them so nothing leaks.
+		for _, n := range nodes {
+			t.pool.Unpin(n.id, false)
+		}
+		for _, n := range nodes {
+			t.reclaim(n.id)
+		}
+	}()
+	newLeaf := func(low []byte) (*node, error) {
+		n, err := t.allocNode(page.Content{
+			Kind: page.Leaf, Level: 0,
+			Low:  low,
+			Keys: [][]byte{}, Vals: [][]byte{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+		level = append(level, n)
+		return n, nil
+	}
+	cur, err := newLeaf([]byte{})
+	if err != nil {
+		return err
+	}
+	var prevKey []byte
+	count := 0
+	for {
+		k, v, ok := next()
+		if !ok {
+			break
+		}
+		if err := t.validateEntry(k, v); err != nil {
+			return err
+		}
+		if count > 0 && t.cmp(prevKey, k) >= 0 {
+			return fmt.Errorf("blinktree: bulk load keys not strictly ascending at %q", k)
+		}
+		if cur.size()+page.EntrySize(page.Leaf, len(k), len(v)) > target && len(cur.c.Keys) > 0 {
+			low := append([]byte(nil), k...)
+			nxt, err := newLeaf(low)
+			if err != nil {
+				return err
+			}
+			cur.c.High = low
+			cur.c.Right = nxt.id
+			cur = nxt
+		}
+		cur.c.Keys = append(cur.c.Keys, append([]byte(nil), k...))
+		cur.c.Vals = append(cur.c.Vals, append([]byte(nil), v...))
+		prevKey = append(prevKey[:0], k...)
+		count++
+	}
+
+	// Build index levels until a single node remains.
+	lvl := uint8(0)
+	for len(level) > 1 {
+		lvl++
+		below := level
+		level = nil
+		var parent *node
+		newIndex := func(low []byte) (*node, error) {
+			n, err := t.allocNode(page.Content{
+				Kind: page.Index, Level: lvl,
+				Low:  low,
+				Keys: [][]byte{}, Children: []page.PageID{},
+			})
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
+			level = append(level, n)
+			return n, nil
+		}
+		parent, err = newIndex([]byte{})
+		if err != nil {
+			return err
+		}
+		for _, child := range below {
+			term := page.EntrySize(page.Index, len(child.c.Low), 0)
+			if parent.size()+term > target && len(parent.c.Keys) > 0 {
+				low := append([]byte(nil), child.c.Low...)
+				nxt, err := newIndex(low)
+				if err != nil {
+					return err
+				}
+				parent.c.High = low
+				parent.c.Right = nxt.id
+				parent = nxt
+			}
+			parent.c.Keys = append(parent.c.Keys, append([]byte(nil), child.c.Low...))
+			parent.c.Children = append(parent.c.Children, child.id)
+		}
+	}
+	root := level[0]
+
+	// Make the load durable as ONE atomic action, then flip the anchor.
+	if t.log != nil {
+		_, err := t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
+			rec := &wal.Record{
+				Type:     wal.TSMO,
+				SMO:      wal.SMOFormat,
+				Root:     root.id,
+				Deallocs: []page.PageID{oldRoot},
+			}
+			for _, n := range nodes {
+				n.c.LSN = uint64(lsn)
+				n.c.Epoch = uint64(lsn)
+				img, merr := n.Marshal(t.opts.PageSize)
+				if merr != nil {
+					panic(fmt.Sprintf("blinktree: bulk load image of %d: %v", n.id, merr))
+				}
+				rec.Images = append(rec.Images, wal.PageImage{ID: n.id, Data: img})
+				rec.Allocs = append(rec.Allocs, n.id)
+			}
+			return rec
+		})
+		if err != nil {
+			return err
+		}
+		if err := t.log.FlushAll(); err != nil {
+			return err
+		}
+	}
+
+	t.anchor.mu.Lock()
+	t.anchor.root = root.id
+	t.anchor.level = root.c.Level
+	t.anchor.mu.Unlock()
+	done = true
+
+	for _, n := range nodes {
+		t.pool.Unpin(n.id, true)
+	}
+	// The formatting leaf is unreachable now; retire it. Its deletion is a
+	// leaf delete under no parent, so no delete-state update is needed —
+	// nothing can hold a reference to an empty just-formatted root.
+	old, err := t.fetch(oldRoot)
+	if err == nil {
+		old.latch.Acquire(latch.Exclusive)
+		old.dead = true
+		old.latch.Release(latch.Exclusive)
+		t.pool.Unpin(oldRoot, false)
+		t.reclaim(oldRoot)
+	}
+	return nil
+}

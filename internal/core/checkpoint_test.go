@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// TestCheckpointConcurrentWithAborts hammers checkpoints against committing
+// and aborting transactions: the abort compensations must respect the
+// checkpoint gate (flushed pages are never mid-mutation).
+func TestCheckpointConcurrentWithAborts(t *testing.T) {
+	tr := newTestTree(t, Options{
+		PageSize: 1024, Workers: 2,
+		Store: storage.NewMemStore(1024), LogDevice: wal.NewMemDevice(),
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				x, err := tr.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 6; j++ {
+					if err := x.Put(key(w*1000+i*6+j), valb(j)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%2 == 0 {
+					err = x.Abort()
+				} else {
+					err = x.Commit()
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := tr.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	mustVerify(t, tr)
+	// Exactly the committed halves survive.
+	want := 4 * 20 * 6
+	if n, _ := tr.Len(); n != want {
+		t.Fatalf("Len = %d, want %d", n, want)
+	}
+}
+
+// TestSavepointRollbackConcurrentWithCheckpoint: RollbackTo also takes the
+// checkpoint gate.
+func TestSavepointRollbackConcurrentWithCheckpoint(t *testing.T) {
+	tr := newTestTree(t, Options{
+		PageSize: 1024, Workers: 2, LogDevice: wal.NewMemDevice(),
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			x, _ := tr.Begin()
+			x.Put(key(i), valb(i))
+			sp := x.Savepoint()
+			x.Put(key(1000+i), valb(i))
+			if err := x.RollbackTo(sp); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := x.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := tr.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	mustVerify(t, tr)
+	if n, _ := tr.Len(); n != 30 {
+		t.Fatalf("Len = %d, want 30", n)
+	}
+}
+
+// TestAbortAfterCloseFails documents the semantics: rollback needs the tree.
+func TestAbortAfterCloseFails(t *testing.T) {
+	tr, err := New(Options{Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := tr.Begin()
+	x.Put(key(1), valb(1))
+	tr.Close()
+	if err := x.Abort(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Abort after Close: %v, want ErrClosed", err)
+	}
+}

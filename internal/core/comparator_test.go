@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// caseInsensitive orders ASCII keys ignoring case, falling back to bytewise
+// for ties (so distinct byte strings of the same folded form are equal only
+// when byte-identical... no: fold fully — "A" == "a"). Empty sorts lowest.
+func caseInsensitive(a, b []byte) int {
+	return bytes.Compare(bytes.ToLower(a), bytes.ToLower(b))
+}
+
+// shortlex orders keys by length first, then bytewise: a valid comparator
+// (empty key lowest) whose order differs sharply from bytewise.
+func shortlex(a, b []byte) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(a, b)
+}
+
+func TestCustomComparatorCaseInsensitive(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, Compare: caseInsensitive})
+	if err := tr.Put([]byte("Hello"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Same key under folding: an overwrite, not a second record.
+	if err := tr.Put([]byte("hello"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get([]byte("HELLO"))
+	if err != nil || string(got) != "2" {
+		t.Fatalf("Get folded = %q, %v", got, err)
+	}
+	if n, _ := tr.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if err := tr.Delete([]byte("hElLo")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get([]byte("Hello")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("after folded delete: %v", err)
+	}
+}
+
+func TestCustomComparatorShortlexFullLifecycle(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, MinFill: 0.4, Compare: shortlex})
+	// Keys whose shortlex order differs from bytewise: "z" < "aa" < "zz" < "aaa".
+	var keys [][]byte
+	for i := 0; i < 1500; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("%s%d", strings.Repeat("k", i%20+1), i)))
+	}
+	for i, k := range keys {
+		if err := tr.Put(k, valb(i)); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	mustVerify(t, tr)
+	for i, k := range keys {
+		got, err := tr.Get(k)
+		if err != nil || !bytes.Equal(got, valb(i)) {
+			t.Fatalf("get %q: %q, %v", k, got, err)
+		}
+	}
+	// Scans must come out in SHORTLEX order, not bytewise.
+	var scanned [][]byte
+	tr.Scan(nil, nil, func(k, _ []byte) bool {
+		scanned = append(scanned, append([]byte(nil), k...))
+		return true
+	})
+	if len(scanned) != len(keys) {
+		t.Fatalf("scan saw %d, want %d", len(scanned), len(keys))
+	}
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return shortlex(sorted[i], sorted[j]) < 0 })
+	for i := range sorted {
+		if !bytes.Equal(sorted[i], scanned[i]) {
+			t.Fatalf("scan order diverges at %d: %q vs %q", i, scanned[i], sorted[i])
+		}
+	}
+	// Reverse scan mirrors it.
+	var rev [][]byte
+	tr.ScanReverse(nil, nil, func(k, _ []byte) bool {
+		rev = append(rev, append([]byte(nil), k...))
+		return true
+	})
+	if len(rev) != len(keys) {
+		t.Fatalf("reverse scan saw %d", len(rev))
+	}
+	for i := range rev {
+		if !bytes.Equal(rev[i], sorted[len(sorted)-1-i]) {
+			t.Fatalf("reverse order diverges at %d", i)
+		}
+	}
+	// Deletes drive consolidation under the custom order.
+	for i, k := range keys {
+		if i%10 != 0 {
+			if err := tr.Delete(k); err != nil {
+				t.Fatalf("delete %q: %v", k, err)
+			}
+		}
+	}
+	for r := 0; r < 4; r++ {
+		tr.DrainTodo()
+		tr.Has(keys[0])
+	}
+	mustVerify(t, tr)
+	if tr.Stats().LeafConsolidated == 0 {
+		t.Fatal("no consolidation under custom comparator")
+	}
+}
+
+func TestCustomComparatorCrashRecovery(t *testing.T) {
+	dev := wal.NewMemDevice()
+	mk := func() *Tree {
+		tr, err := New(Options{
+			PageSize: 512, Compare: shortlex, Workers: WorkersNone,
+			Store: storage.NewMemStore(512), LogDevice: dev,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr := mk()
+	for i := 0; i < 400; i++ {
+		tr.Put([]byte(fmt.Sprintf("%s%d", strings.Repeat("x", i%15+1), i)), valb(i))
+	}
+	tr.FlushLog()
+	dev.Crash()
+	tr.Abandon()
+
+	tr2 := mk()
+	defer tr2.Close()
+	mustVerify(t, tr2)
+	if n, _ := tr2.Len(); n != 400 {
+		t.Fatalf("recovered %d records", n)
+	}
+}
+
+func TestCustomComparatorNoTruncation(t *testing.T) {
+	// With a custom comparator, separators must be full keys: truncation
+	// assumes bytewise prefix ordering.
+	tr := newTestTree(t, Options{PageSize: 512, Compare: shortlex})
+	for i := 0; i < 400; i++ {
+		tr.Put([]byte(fmt.Sprintf("%020d", i)), valb(i))
+	}
+	mustVerify(t, tr)
+	leaves, err := tr.LevelNodes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range leaves {
+		info, _ := tr.NodeSnapshot(id)
+		if info.High != nil && len(info.High) != 20 {
+			t.Fatalf("truncated separator %q under custom comparator", info.High)
+		}
+	}
+}

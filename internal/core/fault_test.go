@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blinktree/internal/storage"
+)
+
+// TestAllocFailureDuringSplit: an allocation failure mid-split must surface
+// as an error from Put and leave the tree structurally intact.
+func TestAllocFailureDuringSplit(t *testing.T) {
+	fs := storage.NewFaultyStore(storage.NewMemStore(512))
+	tr, err := New(Options{PageSize: 512, Store: fs, Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Fill until just before a split.
+	i := 0
+	for tr.Stats().Splits == 0 {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	before, _ := tr.Len()
+	// Fail the NEXT allocation, then force another split.
+	fs.FailNextAllocs(1)
+	var perr error
+	j := 0
+	for perr == nil && j < 200 {
+		perr = tr.Put(key(10000+j), valb(j))
+		j++
+	}
+	if perr == nil {
+		t.Fatal("no Put failed despite injected allocation fault")
+	}
+	if !errors.Is(perr, storage.ErrInjected) {
+		t.Fatalf("error = %v, want injected", perr)
+	}
+	// Recovery of service: subsequent operations succeed, the tree
+	// verifies, and the pre-failure records are intact.
+	if err := tr.Put(key(20000), valb(1)); err != nil {
+		t.Fatalf("put after fault cleared: %v", err)
+	}
+	mustVerify(t, tr)
+	after, _ := tr.Len()
+	if after < before {
+		t.Fatalf("records lost: %d -> %d", before, after)
+	}
+	for k := 0; k < i; k++ {
+		got, err := tr.Get(key(k))
+		if err != nil || !bytes.Equal(got, valb(k)) {
+			t.Fatalf("pre-fault record %d: %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestWriteFailureDuringEviction: with a tiny cache, write-back failures
+// surface as operation errors; once the fault clears, everything works and
+// no committed data is lost.
+func TestWriteFailureDuringEviction(t *testing.T) {
+	fs := storage.NewFaultyStore(storage.NewMemStore(512))
+	tr, err := New(Options{PageSize: 512, Store: fs, CacheSize: 8, Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFailWrites(true)
+	sawError := false
+	for i := n; i < n+300; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			sawError = true
+			break
+		}
+	}
+	fs.SetFailWrites(false)
+	if !sawError {
+		t.Log("note: no eviction write-back needed during the fault window")
+	}
+	// Service restored.
+	if err := tr.Put(key(99999), valb(1)); err != nil {
+		t.Fatalf("put after fault cleared: %v", err)
+	}
+	mustVerify(t, tr)
+	for i := 0; i < n; i++ {
+		if _, err := tr.Get(key(i)); err != nil {
+			t.Fatalf("record %d lost: %v", i, err)
+		}
+	}
+}
+
+// TestReadFailureSurfaces: a read fault makes operations fail cleanly, and
+// clearing it restores service.
+func TestReadFailureSurfaces(t *testing.T) {
+	fs := storage.NewFaultyStore(storage.NewMemStore(512))
+	tr, err := New(Options{PageSize: 512, Store: fs, CacheSize: 4, Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 300; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	tr.DrainTodo()
+	fs.SetFailReads(true)
+	// With a 4-frame cache most lookups need a read.
+	sawError := false
+	for i := 0; i < 300 && !sawError; i += 17 {
+		if _, err := tr.Get(key(i)); err != nil && !errors.Is(err, ErrKeyNotFound) {
+			sawError = true
+		}
+	}
+	fs.SetFailReads(false)
+	if !sawError {
+		t.Skip("everything stayed cached; read fault not exercised")
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := tr.Get(key(i)); err != nil {
+			t.Fatalf("get %d after fault cleared: %v", i, err)
+		}
+	}
+	mustVerify(t, tr)
+}
+
+// TestBulkLoadAllocFailureCleansUp: an allocation fault mid-bulk-load frees
+// everything built so far.
+func TestBulkLoadAllocFailureCleansUp(t *testing.T) {
+	fs := storage.NewFaultyStore(storage.NewMemStore(512))
+	tr, err := New(Options{PageSize: 512, Store: fs, Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fs.FailNextAllocs(0)
+	// Fail the 5th allocation: several leaves exist by then.
+	allocsSoFar := tr.StoreStats().Allocs
+	_ = allocsSoFar
+	i := 0
+	fs.FailNextAllocs(5)
+	err = tr.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= 3000 {
+			return nil, nil, false
+		}
+		k := key(i)
+		i++
+		return k, valb(i), true
+	}, 0.9)
+	if err == nil {
+		t.Fatal("bulk load survived injected allocation fault")
+	}
+	if live := tr.StoreStats().LivePages; live != 1 {
+		t.Fatalf("live pages after failed bulk load = %d, want 1 (the root)", live)
+	}
+	// The tree still works.
+	if err := tr.Put(key(1), valb(1)); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, tr)
+}

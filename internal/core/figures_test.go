@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// These tests reproduce the paper's figures as executable scenarios:
+//
+//	Figure 1 — tree before the split: node F full.
+//	Figure 2 — first half split: F's contents divided between F and the new
+//	           node G; F's side pointer references G; G has NO index term
+//	           in the parent, yet its data is reachable via side traversal.
+//	Figure 3 — second half split: the index term for G is posted.
+//	Figure 4 — access parent checks D_X (parent exists) and D_D (G exists)
+//	           before posting; a changed D_D aborts the posting.
+
+// buildFigureTree creates a two-level tree (a parent with several leaves)
+// and returns it quiesced.
+func buildFigureTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := newTestTree(t, Options{PageSize: 512, MinFill: 0.4})
+	for i := 0; i < 300; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustVerify(t, tr)
+	if tr.Height() < 1 {
+		t.Fatal("figure tree needs at least two levels")
+	}
+	return tr
+}
+
+// takeQueuedActions drains the to-do queue's backlog WITHOUT processing it,
+// returning the actions. White-box: lets tests control SMO timing exactly.
+func takeQueuedActions(tr *Tree) []action {
+	tr.todo.mu.Lock()
+	defer tr.todo.mu.Unlock()
+	out := tr.todo.queue
+	tr.todo.queue = nil
+	for k := range tr.todo.pending {
+		delete(tr.todo.pending, k)
+	}
+	return out
+}
+
+// splitSalt makes the synthetic keys of successive splitOneLeaf calls
+// unique, so repeated calls keep inserting fresh records.
+var splitSalt int
+
+// splitOneLeaf forces one leaf to split by stuffing keys into its range and
+// returns the resulting post action (captured, not processed).
+func splitOneLeaf(t *testing.T, tr *Tree) action {
+	t.Helper()
+	takeQueuedActions(tr) // start clean
+	splitsBefore := tr.Stats().Splits
+	splitSalt++
+	i := 0
+	for tr.Stats().Splits == splitsBefore {
+		k := []byte(fmt.Sprintf("%s~%04d~%04d", key(10), splitSalt, i))
+		if err := tr.Put(k, bytes.Repeat([]byte("x"), 30)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i > 500 {
+			t.Fatal("could not force a split")
+		}
+	}
+	for _, a := range takeQueuedActions(tr) {
+		if a.kind == actPost {
+			return a
+		}
+	}
+	t.Fatal("split produced no post action")
+	return action{}
+}
+
+func TestFigure1NodeFull(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512})
+	// Fill the single root leaf until the next insert would not fit.
+	i := 0
+	for {
+		root, err := tr.NodeSnapshot(tr.RootID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.opts.PageSize-root.Size < 40 {
+			break // F is full
+		}
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	root, _ := tr.NodeSnapshot(tr.RootID())
+	if root.Right != 0 {
+		t.Fatal("Figure 1 state must have no sibling yet")
+	}
+	if tr.Stats().Splits != 0 {
+		t.Fatal("Figure 1 state must precede any split")
+	}
+}
+
+func TestFigure2FirstHalfSplit(t *testing.T) {
+	tr := buildFigureTree(t)
+	a := splitOneLeaf(t, tr)
+
+	f, err := tr.NodeSnapshot(a.origID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.NodeSnapshot(a.newID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F's side pointer references G, and the side link's key space
+	// description (F.High == G.Low) is the complete index term.
+	if f.Right != a.newID {
+		t.Fatalf("F.right = %d, want G (%d)", f.Right, a.newID)
+	}
+	if !bytes.Equal(f.High, g.Low) {
+		t.Fatalf("F.high %q != G.low %q", f.High, g.Low)
+	}
+	if !bytes.Equal(a.sep, g.Low) {
+		t.Fatalf("post action sep %q != G.low %q", a.sep, g.Low)
+	}
+	// G is NOT referenced by an index term in the parent.
+	p, err := tr.NodeSnapshot(a.parent.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Children {
+		if c == a.newID {
+			t.Fatal("G already has an index term before the 2nd half split")
+		}
+	}
+	// Yet G's data is reachable (search correctness via side traversal).
+	side := tr.Stats().SideTraversals
+	gKey := g.Keys[0]
+	if _, err := tr.Get(gKey); err != nil {
+		t.Fatalf("key in G unreachable: %v", err)
+	}
+	if tr.Stats().SideTraversals == side {
+		t.Fatal("reaching G did not use a side traversal")
+	}
+}
+
+func TestFigure3SecondHalfSplit(t *testing.T) {
+	tr := buildFigureTree(t)
+	a := splitOneLeaf(t, tr)
+	// Process the posting (2nd half split).
+	tr.processPost(a)
+	if tr.Stats().PostsDone == 0 {
+		t.Fatal("index term was not posted")
+	}
+	// The parent (or a sibling it split into) now references G.
+	mustVerify(t, tr)
+	g, _ := tr.NodeSnapshot(a.newID)
+	side := tr.Stats().SideTraversals
+	if _, err := tr.Get(g.Keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().SideTraversals != side {
+		t.Fatal("search still side-traverses after index term was posted")
+	}
+}
+
+func TestFigure4AccessParentChecksDD(t *testing.T) {
+	tr := buildFigureTree(t)
+	a := splitOneLeaf(t, tr)
+
+	// Before the posting runs, a data node under the same parent is
+	// deleted: D_D in the parent changes.
+	ddBefore, err := tr.NodeSnapshot(a.parent.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a consolidation candidate: empty out a middle leaf.
+	for i := 100; i < 160; i++ {
+		tr.Delete(key(i))
+	}
+	// Run only delete actions.
+	for _, act := range takeQueuedActions(tr) {
+		if act.kind == actDelete {
+			tr.processDelete(act)
+		}
+	}
+	if tr.Stats().LeafConsolidated == 0 {
+		t.Skip("no leaf consolidation achieved; cannot demonstrate Figure 4")
+	}
+	ddAfter, _ := tr.NodeSnapshot(a.parent.id)
+	if ddAfter.DD == ddBefore.DD {
+		t.Skipf("consolidation happened under a different parent (DD %d unchanged)", ddAfter.DD)
+	}
+
+	// Now the remembered posting runs: access parent sees D_D changed and
+	// aborts it, even though G itself still exists (conservatism is safe).
+	aborts := tr.Stats().PostsAbortDD
+	tr.processPost(a)
+	if got := tr.Stats().PostsAbortDD; got != aborts+1 {
+		t.Fatalf("posting not aborted by D_D change (aborts %d -> %d)", aborts, got)
+	}
+	// G's data is still reachable, and the posting is re-discovered by the
+	// side traversal and eventually completes.
+	g, _ := tr.NodeSnapshot(a.newID)
+	if _, err := tr.Get(g.Keys[0]); err != nil {
+		t.Fatalf("data in G lost after aborted posting: %v", err)
+	}
+	mustVerify(t, tr)
+	p2, _ := tr.NodeSnapshot(a.parent.id)
+	foundTerm := false
+	for _, c := range p2.Children {
+		if c == a.newID {
+			foundTerm = true
+		}
+	}
+	if !foundTerm {
+		// The term may live in a split sibling of the parent; full
+		// verification above already proved the tree well-formed, so just
+		// require reachability without side traversal.
+		side := tr.Stats().SideTraversals
+		tr.Get(g.Keys[0])
+		if tr.Stats().SideTraversals != side {
+			t.Fatal("index term never re-posted after abort")
+		}
+	}
+}
+
+func TestFigure4AccessParentChecksDX(t *testing.T) {
+	tr := buildFigureTree(t)
+	a := splitOneLeaf(t, tr)
+	// Simulate an index-node delete between remembering and posting.
+	tr.dx.v.Add(1)
+	aborts := tr.Stats().PostsAbortDX
+	tr.processPost(a)
+	if got := tr.Stats().PostsAbortDX; got != aborts+1 {
+		t.Fatalf("posting not aborted by D_X change")
+	}
+	// Re-discovery repairs the index.
+	mustVerify(t, tr)
+}
+
+func TestAccessParentIdentityCheck(t *testing.T) {
+	tr := buildFigureTree(t)
+	a := splitOneLeaf(t, tr)
+	// A stale parent reference whose page was recycled as a different node
+	// is detected by the epoch, even with D_X unchanged.
+	a.parent.epoch += 999
+	tr.processPost(a)
+	if tr.Stats().PostsAbortID == 0 {
+		t.Fatal("recycled-parent identity mismatch not detected")
+	}
+	mustVerify(t, tr)
+}

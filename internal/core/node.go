@@ -1,0 +1,170 @@
+// Package core implements the paper's contribution: a B-link tree with
+// simple, robust, highly concurrent node deletion based on delete state
+// (Lomet, "Simple, Robust and Highly Concurrent B-trees with Node Deletion",
+// ICDE 2004).
+//
+// The tree is a Pi-tree-style B-link tree: every node carries its key-space
+// description (low/high fence keys) and a side pointer whose key space is
+// known, so the tree is search-correct even when index terms have not been
+// posted. Structure modifications beyond the mandatory first half split are
+// lazy: they are enqueued on a volatile to-do queue and simply abandoned if
+// the delete state (a global index-delete counter D_X, and a per-parent
+// data-delete counter D_D) shows a node delete might have invalidated them.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"blinktree/internal/latch"
+	"blinktree/internal/page"
+	"blinktree/internal/wal"
+)
+
+// node is the in-memory form of one tree node. The latch protects every
+// field except id, which is immutable. A node must be pinned in the buffer
+// pool while latched (pin before latch, unlatch before unpin), so eviction
+// can never race with a latch holder.
+type node struct {
+	latch latch.Latch
+	id    page.PageID
+
+	// dead marks a consolidated node. It is set under the exclusive latch
+	// just before deallocation; any latcher that finds it must back off.
+	dead bool
+
+	// c is the node's logical content (fences, side pointer, entries, D_D,
+	// page LSN). It is mutated in place under the exclusive latch.
+	c page.Content
+}
+
+// newNode wraps fresh content.
+func newNode(id page.PageID, c page.Content) *node {
+	c.ID = id
+	return &node{id: id, c: c}
+}
+
+// PageLSN implements buffer.Object.
+func (n *node) PageLSN() wal.LSN { return wal.LSN(n.c.LSN) }
+
+// Marshal implements buffer.Object.
+func (n *node) Marshal(pageSize int) ([]byte, error) {
+	return page.Marshal(&n.c, pageSize)
+}
+
+// isLeaf reports whether n is a data node.
+func (n *node) isLeaf() bool { return n.c.Kind == page.Leaf }
+
+// level returns the node's level; leaves are level 0.
+func (n *node) level() uint8 { return n.c.Level }
+
+// covers reports whether key falls in [Low, High) under cmp.
+func (n *node) covers(cmp Compare, key []byte) bool {
+	if cmp(key, n.c.Low) < 0 {
+		return false
+	}
+	return n.c.High == nil || cmp(key, n.c.High) < 0
+}
+
+// pastHigh reports whether key belongs to a right sibling.
+func (n *node) pastHigh(cmp Compare, key []byte) bool {
+	return n.c.High != nil && cmp(key, n.c.High) >= 0
+}
+
+// searchLeaf returns the position of key in a leaf and whether it is
+// present; absent keys return their insertion position.
+func (n *node) searchLeaf(cmp Compare, key []byte) (int, bool) {
+	i := sort.Search(len(n.c.Keys), func(i int) bool {
+		return cmp(n.c.Keys[i], key) >= 0
+	})
+	return i, i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0
+}
+
+// childFor returns the index of the child covering key in an index node.
+// The caller must have established key >= Low (keys[0] == Low).
+func (n *node) childFor(cmp Compare, key []byte) int {
+	i := sort.Search(len(n.c.Keys), func(i int) bool {
+		return cmp(n.c.Keys[i], key) > 0
+	})
+	return i - 1
+}
+
+// searchIndexKey reports whether an index node has an entry with exactly
+// this separator key, and its position.
+func (n *node) searchIndexKey(cmp Compare, key []byte) (bool, int) {
+	i := sort.Search(len(n.c.Keys), func(i int) bool {
+		return cmp(n.c.Keys[i], key) >= 0
+	})
+	return i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0, i
+}
+
+// findChild returns the position of the index entry pointing at child, or
+// -1 if absent.
+func (n *node) findChild(child page.PageID) int {
+	for i, c := range n.c.Children {
+		if c == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertLeafAt inserts (key, val) at position i.
+func (n *node) insertLeafAt(i int, key, val []byte) {
+	n.c.Keys = append(n.c.Keys, nil)
+	copy(n.c.Keys[i+1:], n.c.Keys[i:])
+	n.c.Keys[i] = append([]byte(nil), key...)
+	n.c.Vals = append(n.c.Vals, nil)
+	copy(n.c.Vals[i+1:], n.c.Vals[i:])
+	n.c.Vals[i] = append([]byte(nil), val...)
+}
+
+// removeLeafAt removes the entry at position i, returning its value.
+func (n *node) removeLeafAt(i int) []byte {
+	old := n.c.Vals[i]
+	n.c.Keys = append(n.c.Keys[:i], n.c.Keys[i+1:]...)
+	n.c.Vals = append(n.c.Vals[:i], n.c.Vals[i+1:]...)
+	return old
+}
+
+// insertIndexTerm inserts the separator key -> child entry in sorted
+// position. It reports false if a term with the same key already exists
+// (the posting was already done, e.g. re-discovered twice).
+func (n *node) insertIndexTerm(cmp Compare, key []byte, child page.PageID) bool {
+	i := sort.Search(len(n.c.Keys), func(i int) bool {
+		return cmp(n.c.Keys[i], key) >= 0
+	})
+	if i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0 {
+		return false
+	}
+	n.c.Keys = append(n.c.Keys, nil)
+	copy(n.c.Keys[i+1:], n.c.Keys[i:])
+	n.c.Keys[i] = append([]byte(nil), key...)
+	n.c.Children = append(n.c.Children, 0)
+	copy(n.c.Children[i+1:], n.c.Children[i:])
+	n.c.Children[i] = child
+	return true
+}
+
+// removeIndexTermAt removes the index entry at position i.
+func (n *node) removeIndexTermAt(i int) {
+	n.c.Keys = append(n.c.Keys[:i], n.c.Keys[i+1:]...)
+	n.c.Children = append(n.c.Children[:i], n.c.Children[i+1:]...)
+}
+
+// size returns the marshaled byte size, the occupancy measure.
+func (n *node) size() int { return n.c.Size() }
+
+// String renders a debug description; used by blinkdump and tests.
+func (n *node) String() string {
+	return fmt.Sprintf("node %d %s L%d [%q,%q) right=%d keys=%d dd=%d lsn=%d",
+		n.id, n.c.Kind, n.c.Level, n.c.Low, highString(n.c.High), n.c.Right,
+		len(n.c.Keys), n.c.DD, n.c.LSN)
+}
+
+func highString(h []byte) string {
+	if h == nil {
+		return "+inf"
+	}
+	return string(h)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"blinktree/internal/latch"
+	"blinktree/internal/page"
+	"blinktree/internal/wal"
+)
+
+// recOpParams carries the logging identity of a record operation: the
+// owning transaction (0 = non-transactional, auto-committed), the
+// transaction's previous LSN for the undo backchain, and CLR fields when
+// the operation compensates another during rollback.
+type recOpParams struct {
+	txn      uint64
+	prevLSN  wal.LSN
+	clr      bool
+	undoNext wal.LSN
+}
+
+// Get returns a copy of the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	if err := t.opBegin(); err != nil {
+		return nil, err
+	}
+	defer t.opEnd()
+	if len(key) == 0 {
+		return nil, ErrEmptyKey
+	}
+	t.c.searches.Add(1)
+	dx := t.dx.v.Load()
+	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Shared, dx: dx})
+	if err != nil {
+		return nil, err
+	}
+	pos, found := leaf.searchLeaf(t.cmp, key)
+	var val []byte
+	if found {
+		val = append([]byte(nil), leaf.c.Vals[pos]...)
+	}
+	t.maybeEnqueueLeafDelete(leaf, path, dx)
+	t.unlatchUnpin(leaf, latch.Shared, false)
+	if !found {
+		return nil, ErrKeyNotFound
+	}
+	return val, nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	switch err {
+	case nil:
+		return true, nil
+	case ErrKeyNotFound:
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Put inserts or replaces the record under key.
+func (t *Tree) Put(key, val []byte) error {
+	if err := t.opBegin(); err != nil {
+		return err
+	}
+	defer t.opEnd()
+	if err := t.validateEntry(key, val); err != nil {
+		return err
+	}
+	t.c.inserts.Add(1)
+	_, err := t.putInternal(recOpParams{}, key, val)
+	return err
+}
+
+// Delete removes the record under key, returning ErrKeyNotFound if absent.
+func (t *Tree) Delete(key []byte) error {
+	if err := t.opBegin(); err != nil {
+		return err
+	}
+	defer t.opEnd()
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	t.c.deletes.Add(1)
+	_, err := t.deleteInternal(recOpParams{}, key)
+	return err
+}
+
+// putInternal traverses to the covering leaf and upserts.
+func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, error) {
+	dx := t.dx.v.Load()
+	leaf, path, err := t.traverse(traverseOpts{
+		key: key, intent: latch.Update, promote: true, dx: dx,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return t.putOnLeaf(leaf, path, dx, lp, key, val)
+}
+
+// putOnLeaf performs the upsert on an exclusively latched leaf (update
+// node, §3.1.3), splitting and moving right as needed. It consumes the
+// latch and pin.
+func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams, key, val []byte) (wal.LSN, error) {
+	for {
+		pos, found := leaf.searchLeaf(t.cmp, key)
+		if found {
+			delta := len(val) - len(leaf.c.Vals[pos])
+			if leaf.size()+delta <= t.opts.PageSize {
+				old := leaf.c.Vals[pos]
+				leaf.c.Vals[pos] = append([]byte(nil), val...)
+				lsn, err := t.logRecOp(leaf, lp, wal.OpUpdate, key, val, old)
+				t.unlatchUnpin(leaf, latch.Exclusive, true)
+				return lsn, err
+			}
+		} else {
+			need := page.EntrySize(page.Leaf, len(key), len(val))
+			if leaf.size()+need <= t.opts.PageSize {
+				leaf.insertLeafAt(pos, key, val)
+				lsn, err := t.logRecOp(leaf, lp, wal.OpInsert, key, val, nil)
+				t.unlatchUnpin(leaf, latch.Exclusive, true)
+				return lsn, err
+			}
+		}
+		// The record does not fit: split. The ARIES/IM comparator releases
+		// the leaf, runs the complete multi-level SMO under the global
+		// tree latch, and re-traverses; the paper's method does only the
+		// mandatory first half split in line (§3.2.1), enqueues the
+		// posting, and follows the side pointer if the key moved right.
+		if t.opts.SerializeSMO {
+			t.unlatchUnpin(leaf, latch.Exclusive, true)
+			need := page.EntrySize(page.Leaf, len(key), len(val))
+			if err := t.serializedSplit(key, need); err != nil {
+				return 0, err
+			}
+			var err error
+			leaf, path, err = t.traverse(traverseOpts{
+				key: key, intent: latch.Update, promote: true, dx: dx,
+			})
+			if err != nil {
+				return 0, err
+			}
+			continue
+		}
+		parent, dd := parentFromPath(path)
+		if err := t.splitLocked(leaf, parent, dd, dx); err != nil {
+			t.unlatchUnpin(leaf, latch.Exclusive, true)
+			return 0, err
+		}
+		if leaf.pastHigh(t.cmp, key) {
+			right, err := t.pinLatch(leaf.c.Right, latch.Exclusive)
+			t.unlatchUnpin(leaf, latch.Exclusive, true)
+			if err != nil {
+				return 0, err
+			}
+			leaf = right
+		}
+	}
+}
+
+// deleteInternal traverses to the covering leaf and removes key.
+func (t *Tree) deleteInternal(lp recOpParams, key []byte) (wal.LSN, error) {
+	dx := t.dx.v.Load()
+	leaf, path, err := t.traverse(traverseOpts{
+		key: key, intent: latch.Update, promote: true, dx: dx,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return t.deleteOnLeaf(leaf, path, dx, lp, key)
+}
+
+// deleteOnLeaf removes key from an exclusively latched leaf, consuming the
+// latch and pin.
+func (t *Tree) deleteOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams, key []byte) (wal.LSN, error) {
+	pos, found := leaf.searchLeaf(t.cmp, key)
+	if !found {
+		t.unlatchUnpin(leaf, latch.Exclusive, false)
+		return 0, ErrKeyNotFound
+	}
+	kcopy := leaf.c.Keys[pos]
+	old := leaf.removeLeafAt(pos)
+	lsn, err := t.logRecOp(leaf, lp, wal.OpDelete, kcopy, nil, old)
+	t.maybeEnqueueLeafDelete(leaf, path, dx)
+	t.unlatchUnpin(leaf, latch.Exclusive, true)
+	return lsn, err
+}
+
+// logRecOp appends the physiological log record for a leaf modification and
+// stamps the leaf's page LSN. No-op without a log.
+func (t *Tree) logRecOp(leaf *node, lp recOpParams, op wal.Op, key, val, old []byte) (wal.LSN, error) {
+	if t.log == nil {
+		return 0, nil
+	}
+	return t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
+		leaf.c.LSN = uint64(lsn)
+		return &wal.Record{
+			Type:     wal.TRecOp,
+			Txn:      lp.txn,
+			PrevLSN:  lp.prevLSN,
+			Op:       op,
+			Page:     leaf.id,
+			Key:      append([]byte(nil), key...),
+			Val:      append([]byte(nil), val...),
+			OldVal:   append([]byte(nil), old...),
+			CLR:      lp.clr,
+			UndoNext: lp.undoNext,
+		}
+	})
+}
+
+// parentFromPath extracts the remembered parent reference and its D_D from
+// a traversal path; a zero ref means the node was at root level.
+func parentFromPath(path []pathEntry) (ref, uint64) {
+	if len(path) == 0 {
+		return ref{}, 0
+	}
+	top := path[len(path)-1]
+	return top.ref, top.dd
+}

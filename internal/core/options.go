@@ -1,0 +1,120 @@
+package core
+
+import (
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// DeletePolicy selects how node deletion is performed; the non-default
+// policies are the paper's comparators.
+type DeletePolicy uint8
+
+const (
+	// DeleteState is the paper's contribution: any under-utilized node may
+	// be consolidated; D_X/D_D guard the lazy structure modifications.
+	DeleteState DeletePolicy = iota
+	// Drain is the "drain approach" (§1.3, [16,19]): a node is deleted
+	// only once empty, its page is marked empty with an extra logged
+	// update before deletion, and the page "lives" until outstanding
+	// references have drained (modeled by an operation-count grace
+	// period). Simple, but under skewed deletes it leaves under-utilized
+	// pages for long periods — exactly what experiment E2 measures.
+	Drain
+)
+
+// Compare orders keys like bytes.Compare: negative when a < b, zero when
+// equal, positive when a > b. A custom comparator must order the empty key
+// below every non-empty key (it is the tree's -infinity sentinel), and two
+// keys comparing equal are the same record.
+type Compare func(a, b []byte) int
+
+// Options configures a Tree.
+type Options struct {
+	// PageSize is the node size in bytes. Default 4096.
+	PageSize int
+
+	// Compare orders keys; nil means bytewise (bytes.Compare). With a
+	// custom comparator, separator truncation is disabled (truncation
+	// assumes bytewise prefix ordering). This is the paper's §2.1
+	// "general indexing framework" hook: the tree's concurrency and
+	// recovery machinery is independent of the key interpretation.
+	Compare Compare
+
+	// CacheSize is the buffer pool capacity in nodes. Default 4096.
+	CacheSize int
+
+	// MinFill is the under-utilization threshold as a fraction of PageSize:
+	// a node whose serialized size falls below MinFill*PageSize is enqueued
+	// for consolidation (the paper: "we can set any utilization lower bound
+	// that we wish", §2.3). Default 0.30. Zero disables consolidation
+	// entirely without disabling delete-state support.
+	MinFill float64
+
+	// Workers is the number of to-do queue worker goroutines processing
+	// lazy structure modifications. Zero means no background workers; the
+	// caller drives the queue with DrainTodo (deterministic tests do this).
+	// Default 2.
+	Workers int
+
+	// Store supplies the page store. Nil means a fresh in-memory store.
+	Store storage.Store
+
+	// LogDevice enables write-ahead logging and crash recovery when
+	// non-nil. Nil disables logging: the tree is volatile.
+	LogDevice wal.Device
+
+	// DeletePolicy selects the node-deletion comparator. Default
+	// DeleteState (the paper's method).
+	DeletePolicy DeletePolicy
+
+	// SerializeSMO builds the ARIES/IM-style comparator (§1.2, [15]):
+	// every structure modification — split, index-term posting, node
+	// consolidation — runs under one global tree latch, one at a time,
+	// and postings are eager (the triggering operation completes the full
+	// multi-level SMO before returning). Node deletes additionally require
+	// empty pages, as in [15]. Experiment E1 measures the concurrency this
+	// costs.
+	SerializeSMO bool
+
+	// NoDeleteSupport builds the Lomet–Salzberg "variant 1" comparator: a
+	// B-link tree with node deletion disabled. Consolidation is never
+	// enqueued, delete states are neither read nor checked, and downward
+	// traversal holds a single latch at a time instead of latch coupling
+	// (the paper: "Latch coupling isn't required if node deletes cannot
+	// occur", §3.1.1). Used by the overhead experiment (E10).
+	NoDeleteSupport bool
+
+	// SingleDeleteState is an ablation switch (E8): instead of the paper's
+	// split D_X / per-parent D_D scheme, every node delete (leaf or index)
+	// increments the one global counter, and index-term postings verify
+	// against it. This mimics a naive "one delete counter" design and
+	// should abort far more postings under leaf-delete load.
+	SingleDeleteState bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.MinFill == 0 {
+		o.MinFill = 0.30
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Store == nil {
+		o.Store = storage.NewMemStore(o.PageSize)
+	}
+	if o.NoDeleteSupport {
+		o.MinFill = -1 // never under-utilized
+	}
+	return o
+}
+
+// explicit sentinel: Workers < 0 means "no workers" after defaulting.
+// Callers pass WorkersNone to run the queue manually.
+const WorkersNone = -1

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/wal"
+)
+
+// TestQuickModelEquivalence drives the tree with random operation sequences
+// and checks it against a map model after every batch, plus invariants at
+// the end. This is the central correctness property: the tree is a
+// linearizable ordered map.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New(Options{PageSize: 512, MinFill: 0.4, Workers: WorkersNone})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer tr.Close()
+		model := make(map[string]string)
+		keyOf := func() []byte { return key(rng.Intn(200)) }
+		for step := 0; step < 600; step++ {
+			k := keyOf()
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Intn(1<<20))
+				if err := tr.Put(k, []byte(v)); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				model[string(k)] = v
+			case 2:
+				err := tr.Delete(k)
+				_, inModel := model[string(k)]
+				if inModel != (err == nil) {
+					t.Logf("delete disagreement on %q: model=%v err=%v", k, inModel, err)
+					return false
+				}
+				delete(model, string(k))
+			case 3:
+				got, err := tr.Get(k)
+				want, inModel := model[string(k)]
+				if inModel != (err == nil) {
+					t.Logf("get disagreement on %q", k)
+					return false
+				}
+				if inModel && string(got) != want {
+					t.Logf("get %q = %q, want %q", k, got, want)
+					return false
+				}
+			}
+			if rng.Intn(100) == 0 {
+				tr.DrainTodo()
+			}
+		}
+		tr.DrainTodo()
+		if err := tr.Verify(); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		recs, err := tr.Records()
+		if err != nil {
+			return false
+		}
+		if len(recs) != len(model) {
+			t.Logf("size mismatch: tree %d, model %d", len(recs), len(model))
+			return false
+		}
+		for k, v := range model {
+			if string(recs[k]) != v {
+				t.Logf("content mismatch at %q", k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanMatchesSortedModel checks that range scans agree with a
+// sorted model over random data and random ranges.
+func TestQuickScanMatchesSortedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New(Options{PageSize: 512, Workers: WorkersNone})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		model := make(map[string]bool)
+		for i := 0; i < 300; i++ {
+			k := key(rng.Intn(500))
+			tr.Put(k, []byte("x"))
+			model[string(k)] = true
+		}
+		lo, hi := rng.Intn(500), rng.Intn(500)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for k := range model {
+			if k >= string(key(lo)) && k < string(key(hi)) {
+				want++
+			}
+		}
+		got, err := tr.Count(key(lo), key(hi))
+		if err != nil {
+			return false
+		}
+		if got != want {
+			t.Logf("range [%d,%d): got %d, want %d", lo, hi, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashRecoveryEquivalence: random committed work, crash at a
+// random point, recovery must yield exactly the committed prefix.
+func TestQuickCrashRecoveryEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := wal.NewMemDevice()
+		tr, err := New(Options{PageSize: 512, LogDevice: dev, Workers: WorkersNone, MinFill: 0.4})
+		if err != nil {
+			return false
+		}
+		committed := make(map[string]string)
+		nTxns := 3 + rng.Intn(8)
+		for i := 0; i < nTxns; i++ {
+			x, err := tr.Begin()
+			if err != nil {
+				return false
+			}
+			local := make(map[string]*string)
+			for j := 0; j < 1+rng.Intn(25); j++ {
+				k := key(rng.Intn(150))
+				if rng.Intn(4) == 0 {
+					err := x.Delete(k)
+					if err != nil && !errors.Is(err, ErrKeyNotFound) {
+						t.Logf("txn delete: %v", err)
+						return false
+					}
+					local[string(k)] = nil
+				} else {
+					v := fmt.Sprintf("s%d-%d", seed, j)
+					if err := x.Put(k, []byte(v)); err != nil {
+						t.Logf("txn put: %v", err)
+						return false
+					}
+					vv := v
+					local[string(k)] = &vv
+				}
+			}
+			switch rng.Intn(3) {
+			case 0:
+				if err := x.Abort(); err != nil {
+					return false
+				}
+			default:
+				if err := x.Commit(); err != nil {
+					return false
+				}
+				for k, v := range local {
+					if v == nil {
+						delete(committed, k)
+					} else {
+						committed[k] = *v
+					}
+				}
+			}
+		}
+		// Crash: committed txns flushed at commit; in-flight tail may die.
+		dev.Crash()
+		tr.todo.stop()
+
+		tr2, err := New(Options{PageSize: 512, LogDevice: dev, Workers: WorkersNone})
+		if err != nil {
+			t.Logf("recovery: %v", err)
+			return false
+		}
+		defer tr2.Close()
+		if err := tr2.Verify(); err != nil {
+			t.Logf("verify after recovery: %v", err)
+			return false
+		}
+		recs, err := tr2.Records()
+		if err != nil {
+			return false
+		}
+		if len(recs) != len(committed) {
+			t.Logf("recovered %d records, committed %d", len(recs), len(committed))
+			return false
+		}
+		for k, v := range committed {
+			if string(recs[k]) != v {
+				t.Logf("mismatch at %q: %q vs %q", k, recs[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcurrentDisjointWriters: random concurrent writers over
+// disjoint ranges always produce exactly the union.
+func TestQuickConcurrentDisjointWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		tr, err := New(Options{PageSize: 512, MinFill: 0.4, Workers: 2})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		const writers = 4
+		done := make(chan map[string]string, writers)
+		for w := 0; w < writers; w++ {
+			go func(w int) {
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				final := make(map[string]string)
+				for i := 0; i < 150; i++ {
+					k := key(w*1000 + rng.Intn(100))
+					if rng.Intn(3) == 0 {
+						tr.Delete(k)
+						delete(final, string(k))
+					} else {
+						v := fmt.Sprintf("w%d-%d", w, i)
+						tr.Put(k, []byte(v))
+						final[string(k)] = v
+					}
+				}
+				done <- final
+			}(w)
+		}
+		union := make(map[string]string)
+		for w := 0; w < writers; w++ {
+			for k, v := range <-done {
+				union[k] = v
+			}
+		}
+		tr.DrainTodo()
+		if err := tr.Verify(); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		recs, err := tr.Records()
+		if err != nil {
+			return false
+		}
+		if len(recs) != len(union) {
+			t.Logf("tree %d records, union %d", len(recs), len(union))
+			return false
+		}
+		for k, v := range union {
+			if !bytes.Equal(recs[k], []byte(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"blinktree/internal/page"
+	"blinktree/internal/wal"
+)
+
+// recover rebuilds the tree from the durable log using multi-level recovery
+// (§2.1): a physiological redo pass first restores every page — including
+// completing all structure modifications, each of which was logged as a
+// single atomic record — so the tree is well-formed; only then are loser
+// transactions rolled back logically through ordinary tree operations.
+//
+// Delete state (D_X, D_D-remembered values) and the to-do queue are
+// volatile and start empty: a crash drains all delete state (§1.3), and
+// lost index postings are re-discovered by side traversals.
+//
+// Returns false if the log is empty (the caller formats a fresh tree).
+func (t *Tree) recover() (bool, error) {
+	recs, err := t.log.DurableRecords()
+	if err != nil {
+		return false, err
+	}
+	if len(recs) == 0 {
+		return false, nil
+	}
+	a := wal.Analyze(recs)
+
+	// Track the root pointer across the whole log (it may predate the
+	// redo window).
+	var root page.PageID
+	for _, r := range recs {
+		if r.Root != 0 {
+			root = r.Root
+		}
+	}
+	if root == 0 {
+		return false, fmt.Errorf("blinktree: log has records but no root (missing format record)")
+	}
+
+	for _, r := range a.RedoRecords() {
+		switch r.Type {
+		case wal.TSMO:
+			if err := t.redoSMO(r); err != nil {
+				return false, err
+			}
+		case wal.TRecOp:
+			if err := t.redoRecOp(r); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	// Install the recovered root.
+	raw, err := t.store.Read(root)
+	if err != nil {
+		return false, fmt.Errorf("blinktree: reading recovered root %d: %w", root, err)
+	}
+	rc, err := page.Unmarshal(raw)
+	if err != nil {
+		return false, fmt.Errorf("blinktree: recovered root %d: %w", root, err)
+	}
+	t.anchor.root = root
+	t.anchor.level = rc.Level
+	t.txnSeq.Store(a.MaxTxn)
+
+	// Undo pass: roll back losers through ordinary (well-formed-tree)
+	// operations, logging CLRs so a crash during undo resumes correctly.
+	for txn := range a.Losers {
+		if err := t.undoLoser(a, txn); err != nil {
+			return false, err
+		}
+	}
+	if err := t.log.FlushAll(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// redoSMO applies one atomic structure modification: allocations, page
+// after-images (guarded by the page LSN test), then deallocations.
+func (t *Tree) redoSMO(r *wal.Record) error {
+	for _, id := range r.Allocs {
+		if err := t.store.EnsureAllocated(id); err != nil {
+			return err
+		}
+	}
+	for _, im := range r.Images {
+		if err := t.store.EnsureAllocated(im.ID); err != nil {
+			return err
+		}
+		cur, err := t.pageLSN(im.ID)
+		if err != nil {
+			return err
+		}
+		if cur >= uint64(r.LSN) {
+			continue // page already reflects this or a later state
+		}
+		if err := t.store.Write(im.ID, im.Data); err != nil {
+			return err
+		}
+	}
+	for _, id := range r.Deallocs {
+		if !t.store.Allocated(id) {
+			continue
+		}
+		cur, err := t.pageLSN(id)
+		if err != nil {
+			return err
+		}
+		if cur > uint64(r.LSN) {
+			// The page was recycled by a later allocation whose state is
+			// already on disk: do not free it again.
+			continue
+		}
+		if err := t.store.Deallocate(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redoRecOp re-applies one physiological record operation to its page if
+// the page state predates it.
+func (t *Tree) redoRecOp(r *wal.Record) error {
+	if !t.store.Allocated(r.Page) {
+		// The page was consolidated away later; the consolidation SMO's
+		// images carry the record's final location.
+		return nil
+	}
+	raw, err := t.store.Read(r.Page)
+	if err != nil {
+		return err
+	}
+	c, err := page.Unmarshal(raw)
+	if err != nil {
+		// A page allocated but never written (crash between the alloc and
+		// the image write-back): the SMO image redo already handled every
+		// logged state, so an unparseable page cannot be this record's
+		// target in a state that needs redo.
+		return nil
+	}
+	if c.LSN >= uint64(r.LSN) {
+		return nil
+	}
+	applyRecOp(t.cmp, c, r)
+	c.LSN = uint64(r.LSN)
+	out, err := page.Marshal(c, t.opts.PageSize)
+	if err != nil {
+		return err
+	}
+	return t.store.Write(r.Page, out)
+}
+
+// applyRecOp applies a record operation to leaf content in place.
+func applyRecOp(cmp Compare, c *page.Content, r *wal.Record) {
+	i := searchKeys(cmp, c.Keys, r.Key)
+	found := i < len(c.Keys) && cmp(c.Keys[i], r.Key) == 0
+	switch r.Op {
+	case wal.OpInsert:
+		if found {
+			c.Vals[i] = append([]byte(nil), r.Val...)
+			return
+		}
+		c.Keys = append(c.Keys, nil)
+		copy(c.Keys[i+1:], c.Keys[i:])
+		c.Keys[i] = append([]byte(nil), r.Key...)
+		c.Vals = append(c.Vals, nil)
+		copy(c.Vals[i+1:], c.Vals[i:])
+		c.Vals[i] = append([]byte(nil), r.Val...)
+	case wal.OpUpdate:
+		if found {
+			c.Vals[i] = append([]byte(nil), r.Val...)
+		}
+	case wal.OpDelete:
+		if found {
+			c.Keys = append(c.Keys[:i], c.Keys[i+1:]...)
+			c.Vals = append(c.Vals[:i], c.Vals[i+1:]...)
+		}
+	}
+}
+
+func searchKeys(cmp Compare, keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// undoLoser rolls back one unfinished transaction after redo, walking its
+// backchain (skipping already-compensated work via CLR UndoNext pointers)
+// and applying inverse operations through normal tree ops.
+func (t *Tree) undoLoser(a *wal.Analysis, txn uint64) error {
+	chain := a.UndoChain(txn)
+	lastLSN := a.Losers[txn]
+	for _, r := range chain {
+		lp := recOpParams{txn: txn, prevLSN: lastLSN, clr: true, undoNext: r.PrevLSN}
+		var lsn wal.LSN
+		var err error
+		switch r.Op {
+		case wal.OpInsert:
+			lsn, err = t.deleteInternal(lp, r.Key)
+			if err == ErrKeyNotFound {
+				err = nil
+			}
+		case wal.OpDelete:
+			lsn, err = t.putInternal(lp, r.Key, r.OldVal)
+		case wal.OpUpdate:
+			lsn, err = t.putInternal(lp, r.Key, r.OldVal)
+		}
+		if err != nil {
+			return fmt.Errorf("blinktree: undo txn %d op at LSN %d: %w", txn, r.LSN, err)
+		}
+		if lsn != 0 {
+			lastLSN = lsn
+		}
+	}
+	_, err := t.log.Append(&wal.Record{Type: wal.TAbort, Txn: txn, PrevLSN: lastLSN})
+	return err
+}
+
+// pageLSN reads the LSN of a page directly from the store; zero for pages
+// never written.
+func (t *Tree) pageLSN(id page.PageID) (uint64, error) {
+	raw, err := t.store.Read(id)
+	if err != nil {
+		return 0, err
+	}
+	c, err := page.Unmarshal(raw)
+	if err != nil {
+		return 0, nil // never-written (zero) page
+	}
+	return c.LSN, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+func TestSavepointPartialRollback(t *testing.T) {
+	tr := newTestTree(t, Options{LogDevice: wal.NewMemDevice()})
+	tr.Put([]byte("base"), []byte("orig"))
+
+	x, _ := tr.Begin()
+	x.Put([]byte("a"), []byte("1"))
+	sp := x.Savepoint()
+	x.Put([]byte("b"), []byte("2"))
+	x.Put([]byte("base"), []byte("dirty"))
+	x.Delete([]byte("a"))
+
+	if err := x.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	// Work after the savepoint is undone; work before it survives.
+	if v, err := x.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("a after partial rollback: %q, %v", v, err)
+	}
+	if _, err := x.Get([]byte("b")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("b after partial rollback: %v", err)
+	}
+	if v, _ := x.Get([]byte("base")); string(v) != "orig" {
+		t.Fatalf("base after partial rollback: %q", v)
+	}
+	if err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tr.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("a after commit: %q, %v", v, err)
+	}
+	mustVerify(t, tr)
+}
+
+func TestSavepointNested(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	x, _ := tr.Begin()
+	x.Put(key(1), []byte("v1"))
+	sp1 := x.Savepoint()
+	x.Put(key(2), []byte("v2"))
+	sp2 := x.Savepoint()
+	x.Put(key(3), []byte("v3"))
+
+	if err := x.RollbackTo(sp2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Get(key(3)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("key3 survived inner rollback: %v", err)
+	}
+	if _, err := x.Get(key(2)); err != nil {
+		t.Fatalf("key2 lost by inner rollback: %v", err)
+	}
+	if err := x.RollbackTo(sp1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Get(key(2)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("key2 survived outer rollback: %v", err)
+	}
+	x.Commit()
+	if n, _ := tr.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestSavepointInvalid(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	x, _ := tr.Begin()
+	if err := x.RollbackTo(-1); err == nil {
+		t.Fatal("negative savepoint accepted")
+	}
+	if err := x.RollbackTo(5); err == nil {
+		t.Fatal("future savepoint accepted")
+	}
+	x.Commit()
+	if err := x.RollbackTo(0); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("RollbackTo on finished txn: %v", err)
+	}
+}
+
+func TestSavepointAbortAfterPartialRollback(t *testing.T) {
+	tr := newTestTree(t, Options{LogDevice: wal.NewMemDevice()})
+	x, _ := tr.Begin()
+	x.Put(key(1), []byte("v1"))
+	sp := x.Savepoint()
+	x.Put(key(2), []byte("v2"))
+	x.RollbackTo(sp)
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tr.Len(); n != 0 {
+		t.Fatalf("Len = %d after abort", n)
+	}
+	mustVerify(t, tr)
+}
+
+func TestSavepointCrashRecovery(t *testing.T) {
+	// A crash after a partial rollback must not resurrect the rolled-back
+	// suffix: the CLR UndoNext chain skips it during recovery undo.
+	dev := wal.NewMemDevice()
+	tr, err := New(Options{PageSize: 512, LogDevice: dev,
+		Store: storage.NewMemStore(512), Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := tr.Begin()
+	x.Put([]byte("keep-candidate"), []byte("v"))
+	sp := x.Savepoint()
+	x.Put([]byte("rolled-back"), []byte("v"))
+	if err := x.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	tr.FlushLog()
+	dev.Crash()
+	tr.Abandon()
+
+	tr2, err := New(Options{PageSize: 512, LogDevice: dev,
+		Store: storage.NewMemStore(512), Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	// The whole transaction was a loser: everything is undone, once.
+	if n, _ := tr2.Len(); n != 0 {
+		recs, _ := tr2.Records()
+		t.Fatalf("Len = %d after crash (%v)", n, recs)
+	}
+	mustVerify(t, tr2)
+}
+
+func TestCursorSeek(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512})
+	for i := 0; i < 300; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	cur := tr.NewCursor(nil, nil)
+	// Read a few, then jump forward.
+	for i := 0; i < 5; i++ {
+		if _, _, ok, err := cur.Next(); !ok || err != nil {
+			t.Fatal(ok, err)
+		}
+	}
+	cur.Seek(key(200))
+	k, _, ok, err := cur.Next()
+	if err != nil || !ok || !bytes.Equal(k, key(200)) {
+		t.Fatalf("after Seek(200): %q %v %v", k, ok, err)
+	}
+	// Jump backward.
+	cur.Seek(key(10))
+	k, _, ok, err = cur.Next()
+	if err != nil || !ok || !bytes.Equal(k, key(10)) {
+		t.Fatalf("after Seek(10): %q %v %v", k, ok, err)
+	}
+	// Seek past the end exhausts the cursor.
+	cur.Seek([]byte("zzzz"))
+	if _, _, ok, _ := cur.Next(); ok {
+		t.Fatal("cursor returned a record past the end")
+	}
+	// Seek revives an exhausted cursor.
+	cur.Seek(key(299))
+	k, _, ok, err = cur.Next()
+	if err != nil || !ok || !bytes.Equal(k, key(299)) {
+		t.Fatalf("after revive: %q %v %v", k, ok, err)
+	}
+}

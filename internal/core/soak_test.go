@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// TestSoakEverythingAtOnce is the kitchen-sink robustness test: concurrent
+// transactional and plain writers, forward and reverse scanners, periodic
+// checkpoints, simulated crashes with recovery between rounds — with the
+// invariant checker run after every round and a committed-records model
+// checked at the end.
+func TestSoakEverythingAtOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	dev := wal.NewMemDevice()
+	store := storage.NewMemStore(1024)
+	committed := make(map[string][]byte) // model, guarded by modelMu
+	var modelMu sync.Mutex
+
+	open := func() *Tree {
+		tr, err := New(Options{
+			PageSize: 1024, MinFill: 0.4, Workers: 2,
+			Store: store, LogDevice: dev, CacheSize: 64,
+		})
+		if err != nil {
+			t.Fatalf("open/recover: %v", err)
+		}
+		return tr
+	}
+
+	tr := open()
+	for round := 0; round < 5; round++ {
+		var wg sync.WaitGroup
+		// Transactional writers over disjoint ranges.
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w, round int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*10 + w)))
+				for txn := 0; txn < 20; txn++ {
+					x, err := tr.Begin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					local := make(map[string][]byte)
+					for op := 0; op < 8; op++ {
+						k := key(w*10000 + rng.Intn(300))
+						if rng.Intn(4) == 0 {
+							err := x.Delete(k)
+							if err != nil && !errors.Is(err, ErrKeyNotFound) {
+								t.Error(err)
+								return
+							}
+							local[string(k)] = nil
+						} else {
+							v := []byte(fmt.Sprintf("r%d-w%d-t%d-%d", round, w, txn, op))
+							if err := x.Put(k, v); err != nil {
+								t.Error(err)
+								return
+							}
+							local[string(k)] = v
+						}
+					}
+					if rng.Intn(3) == 0 {
+						if err := x.Abort(); err != nil {
+							t.Error(err)
+						}
+						continue
+					}
+					if err := x.Commit(); err != nil {
+						t.Error(err)
+						continue
+					}
+					modelMu.Lock()
+					for k, v := range local {
+						if v == nil {
+							delete(committed, k)
+						} else {
+							committed[k] = v
+						}
+					}
+					modelMu.Unlock()
+				}
+			}(w, round)
+		}
+		// Scanners in both directions (own WaitGroup: they run until the
+		// writers and checkpointer finish).
+		stop := make(chan struct{})
+		var scanners sync.WaitGroup
+		for s := 0; s < 2; s++ {
+			scanners.Add(1)
+			go func(reverse bool) {
+				defer scanners.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var prev []byte
+					check := func(k, _ []byte) bool {
+						if prev != nil {
+							c := bytes.Compare(prev, k)
+							if (reverse && c <= 0) || (!reverse && c >= 0) {
+								t.Errorf("scan order violation (reverse=%v)", reverse)
+								return false
+							}
+						}
+						prev = append(prev[:0], k...)
+						return true
+					}
+					var err error
+					if reverse {
+						err = tr.ScanReverse(nil, nil, check)
+					} else {
+						err = tr.Scan(nil, nil, check)
+					}
+					if err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("scan: %v", err)
+						return
+					}
+				}
+			}(s == 1)
+		}
+		// A checkpointer.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if err := tr.Checkpoint(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}()
+		// Wait for writers+checkpointer, then stop scanners.
+		wg.Wait()
+		close(stop)
+		scanners.Wait()
+
+		tr.DrainTodo()
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("round %d verify: %v", round, err)
+		}
+
+		// Every other round: crash and recover.
+		if round%2 == 1 {
+			tr.FlushLog() // commits already flushed; this covers SMO tails
+			dev.Crash()
+			tr.Abandon()
+			tr = open()
+			tr.DrainTodo()
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("round %d post-recovery verify: %v", round, err)
+			}
+		}
+	}
+
+	// Final model check.
+	recs, err := tr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	if len(recs) != len(committed) {
+		t.Fatalf("final records %d, committed model %d", len(recs), len(committed))
+	}
+	for k, v := range committed {
+		if !bytes.Equal(recs[k], v) {
+			t.Fatalf("mismatch at %q: %q vs %q", k, recs[k], v)
+		}
+	}
+	tr.Close()
+}

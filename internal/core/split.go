@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"blinktree/internal/page"
+	"blinktree/internal/wal"
+)
+
+// splitLocked performs the first half split of n (A.2), which must be held
+// in Exclusive mode by the caller. The upper half of n's entries moves to a
+// freshly allocated right sibling; n's side pointer and high fence are
+// updated so the tree is immediately well-formed. The index-term posting
+// (the second half split) is enqueued on the to-do queue.
+//
+// parent/dd are the remembered parent reference and its D_D from the
+// caller's traversal path (zero parent = n was at root level). dx is the
+// delete state remembered at operation start.
+//
+// The whole first half split is one atomic action: a single SMO log record
+// carries both after-images and the allocation.
+func (t *Tree) splitLocked(n *node, parent ref, dd uint64, dx uint64) error {
+	nk := len(n.c.Keys)
+	if nk < 2 {
+		return fmt.Errorf("blinktree: splitting node %d with %d entries", n.id, nk)
+	}
+	mid := t.splitPoint(n)
+	var sep []byte
+	if n.isLeaf() && t.bytewise {
+		// Suffix truncation: any separator s with lastLeft < s <= firstRight
+		// partitions the halves correctly, so pick the shortest one. Short
+		// separators shrink every index level above. Only valid under
+		// bytewise ordering (a custom comparator need not order prefixes).
+		sep = shortestSeparator(n.c.Keys[mid-1], n.c.Keys[mid])
+	} else {
+		// Index separators must stay exact: an index term's key must equal
+		// its child's low fence.
+		sep = append([]byte(nil), n.c.Keys[mid]...)
+	}
+
+	newC := page.Content{
+		Kind:  n.c.Kind,
+		Level: n.c.Level,
+		Low:   sep,
+		High:  n.c.High, // may be nil (+inf)
+		Right: n.c.Right,
+		// D_D is copied to the new half so delete-state values remembered
+		// against the old parent remain comparable after rightward
+		// traversal (monotone along the copy chain).
+		DD: n.c.DD,
+	}
+	newC.Keys = append([][]byte(nil), n.c.Keys[mid:]...)
+	if n.isLeaf() {
+		newC.Vals = append([][]byte(nil), n.c.Vals[mid:]...)
+	} else {
+		newC.Children = append([]page.PageID(nil), n.c.Children[mid:]...)
+	}
+
+	right, err := t.allocNode(newC)
+	if err != nil {
+		return err
+	}
+
+	// Shrink the original in place and hook up the side pointer carrying
+	// the new node's key space description (High of n == Low of new).
+	n.c.Keys = n.c.Keys[:mid]
+	if n.isLeaf() {
+		n.c.Vals = n.c.Vals[:mid]
+	} else {
+		n.c.Children = n.c.Children[:mid]
+	}
+	n.c.High = sep
+	n.c.Right = right.id
+
+	if err := t.logSplit(n, right); err != nil {
+		return err
+	}
+	t.c.splits.Add(1)
+
+	a := action{
+		kind:   actPost,
+		level:  n.level(),
+		origID: n.id, origEpoch: n.c.Epoch,
+		newID: right.id, newEpoch: right.c.Epoch,
+		sep:    sep,
+		parent: parent,
+		dx:     dx,
+		dd:     dd,
+	}
+	t.pool.Unpin(right.id, true)
+	t.c.postsEnqueued.Add(1)
+	t.todo.enqueue(a)
+	return nil
+}
+
+// shortestSeparator returns the shortest byte string s with a < s <= b
+// (callers guarantee a < b). It is the shortest prefix of b that still
+// exceeds a.
+func shortestSeparator(a, b []byte) []byte {
+	for i := 0; i < len(b); i++ {
+		if i >= len(a) || a[i] != b[i] {
+			return append([]byte(nil), b[:i+1]...)
+		}
+	}
+	// a is a prefix of b (a < b means len(a) < len(b)): all of b is needed.
+	return append([]byte(nil), b...)
+}
+
+// splitPoint picks the split position that most evenly divides the node's
+// serialized size, keeping at least one entry on each side.
+func (t *Tree) splitPoint(n *node) int {
+	total := 0
+	sizes := make([]int, len(n.c.Keys))
+	for i, k := range n.c.Keys {
+		var s int
+		if n.isLeaf() {
+			s = page.EntrySize(page.Leaf, len(k), len(n.c.Vals[i]))
+		} else {
+			s = page.EntrySize(page.Index, len(k), 0)
+		}
+		sizes[i] = s
+		total += s
+	}
+	half := total / 2
+	acc := 0
+	for i, s := range sizes {
+		acc += s
+		if acc >= half {
+			if i+1 >= len(n.c.Keys) {
+				return len(n.c.Keys) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(n.c.Keys) / 2
+}
+
+// logSplit writes the single atomic SMO record for a half split and stamps
+// both nodes with its LSN. With logging disabled it is a no-op.
+func (t *Tree) logSplit(orig, right *node) error {
+	if t.log == nil {
+		return nil
+	}
+	_, err := t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
+		orig.c.LSN = uint64(lsn)
+		right.c.LSN = uint64(lsn)
+		right.c.Epoch = uint64(lsn)
+		oi, err := orig.Marshal(t.opts.PageSize)
+		if err != nil {
+			panic(fmt.Sprintf("blinktree: split image of %d: %v", orig.id, err))
+		}
+		ri, err := right.Marshal(t.opts.PageSize)
+		if err != nil {
+			panic(fmt.Sprintf("blinktree: split image of %d: %v", right.id, err))
+		}
+		return &wal.Record{
+			Type: wal.TSMO,
+			SMO:  wal.SMOSplit,
+			Images: []wal.PageImage{
+				{ID: orig.id, Data: oi},
+				{ID: right.id, Data: ri},
+			},
+			Allocs: []page.PageID{right.id},
+		}
+	})
+	return err
+}
+
+// mergedSize returns the serialized size of left after absorbing victim's
+// entries, high fence and side pointer (A.5 step 4's fit check).
+func (t *Tree) mergedSize(left, victim *node) int {
+	s := left.size() - len(left.c.High) + len(victim.c.High)
+	for i, k := range victim.c.Keys {
+		if victim.isLeaf() {
+			s += page.EntrySize(page.Leaf, len(k), len(victim.c.Vals[i]))
+		} else {
+			s += page.EntrySize(page.Index, len(k), 0)
+		}
+	}
+	return s
+}

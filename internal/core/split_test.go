@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/page"
+)
+
+func TestShortestSeparator(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"apple", "banana", "b"},
+		{"banana", "bandana", "band"},
+		{"abc", "abcd", "abcd"}, // a is a prefix of b: all of b needed
+		{"a", "b", "b"},
+		{"car", "cat", "cat"},
+		{"user0000099", "user0000100", "user00001"},
+	}
+	for _, c := range cases {
+		got := shortestSeparator([]byte(c.a), []byte(c.b))
+		if string(got) != c.want {
+			t.Errorf("shortestSeparator(%q,%q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestQuickShortestSeparatorInvariant: for random a < b, the separator s
+// satisfies a < s <= b and is never longer than b.
+func TestQuickShortestSeparatorInvariant(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, b := x, y
+		if bytes.Equal(a, b) {
+			return true
+		}
+		if bytes.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		s := shortestSeparator(a, b)
+		return bytes.Compare(a, s) < 0 &&
+			bytes.Compare(s, b) <= 0 &&
+			len(s) <= len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeparatorTruncationShrinksFences: with long shared-prefix keys the
+// leaf fences must be much shorter than the keys.
+func TestSeparatorTruncationShrinksFences(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512})
+	longKey := func(i int) []byte {
+		return []byte("tenant-0001/region-eu-west/table-orders/" + string(key(i)))
+	}
+	for i := 0; i < 800; i++ {
+		if err := tr.Put(longKey(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustVerify(t, tr)
+	leaves, err := tr.LevelNodes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) < 3 {
+		t.Skip("not enough leaves")
+	}
+	totalFence, n := 0, 0
+	for _, id := range leaves {
+		info, _ := tr.NodeSnapshot(id)
+		if info.High != nil {
+			totalFence += len(info.High)
+			n++
+		}
+	}
+	avgFence := totalFence / n
+	keyLen := len(longKey(0))
+	if avgFence >= keyLen {
+		t.Fatalf("average fence %d not shorter than key length %d", avgFence, keyLen)
+	}
+	// Every key must still be found, and ranges must still partition.
+	for i := 0; i < 800; i += 13 {
+		if _, err := tr.Get(longKey(i)); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+}
+
+func TestSplitPointBalancesBySize(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 4096})
+	n := newNode(1, pageLeafContent())
+	// One giant value at the front, many small ones after: the byte-wise
+	// split point must land after the giant entry, not at the key midpoint.
+	n.c.Keys = append(n.c.Keys, []byte("aaa"))
+	n.c.Vals = append(n.c.Vals, bytes.Repeat([]byte("X"), 1000))
+	for i := 0; i < 20; i++ {
+		n.c.Keys = append(n.c.Keys, []byte{byte('b' + i)})
+		n.c.Vals = append(n.c.Vals, []byte("v"))
+	}
+	mid := tr.splitPoint(n)
+	if mid > 5 {
+		t.Fatalf("splitPoint = %d; size-weighted split should land early", mid)
+	}
+	if mid < 1 || mid >= len(n.c.Keys) {
+		t.Fatalf("splitPoint = %d out of range", mid)
+	}
+}
+
+func pageLeafContent() page.Content {
+	return page.Content{Kind: page.Leaf, Low: []byte{}, Keys: [][]byte{}, Vals: [][]byte{}}
+}

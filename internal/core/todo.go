@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"blinktree/internal/page"
+)
+
+// actionKind identifies a queued structure modification.
+type actionKind uint8
+
+const (
+	// actPost posts the index term for a completed half split (§3.2.3).
+	actPost actionKind = iota + 1
+	// actDelete consolidates an under-utilized node into its left sibling
+	// (§3.2.4).
+	actDelete
+	// actShrink removes a root that has a single child and no sibling.
+	actShrink
+	// actReclaim retries deallocation of a dead node whose buffer frame
+	// was still pinned by a concurrent reader.
+	actReclaim
+)
+
+func (k actionKind) String() string {
+	switch k {
+	case actPost:
+		return "post"
+	case actDelete:
+		return "delete"
+	case actShrink:
+		return "shrink"
+	case actReclaim:
+		return "reclaim"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(k))
+	}
+}
+
+// ref is a remembered node reference: the address plus the incarnation
+// number that makes stale references detectable.
+type ref struct {
+	id    page.PageID
+	epoch uint64
+}
+
+// action is one entry on the volatile to-do queue. Every action carries the
+// delete state remembered when the need for it was discovered (§4.1.1): the
+// worker aborts the action if the state has changed.
+type action struct {
+	kind  actionKind
+	level uint8 // level of the split/victim node
+
+	// actPost: origID split, producing newID whose low key is sep.
+	// actDelete: origID is the victim, sep is its (immutable) low key.
+	// actShrink/actReclaim: origID is the target.
+	origID    page.PageID
+	origEpoch uint64
+	newID     page.PageID
+	newEpoch  uint64
+	sep       []byte
+
+	// parent is the remembered parent from the traversal path; a zero ID
+	// means the node was at root level (posts go through the grow path)
+	// or the parent is unknown (deletes resolve it by traversal).
+	parent ref
+
+	// dx is the remembered global index-delete state D_X.
+	dx uint64
+	// dd is the remembered parent D_D, meaningful for leaf-level posts.
+	dd uint64
+
+	retries int
+}
+
+// dedupKey identifies an action for duplicate-discovery collapsing. It is
+// a comparable struct (not a formatted string) so the hot re-discovery
+// paths allocate nothing.
+type dedupKey struct {
+	kind actionKind
+	orig page.PageID
+	new  page.PageID
+}
+
+func (a action) dedup() dedupKey {
+	return dedupKey{kind: a.kind, orig: a.origID, new: a.newID}
+}
+
+// maxActionRetries bounds re-enqueues of one action (root-grow races,
+// reclaim of a transiently pinned page). A dropped post or delete is always
+// safe: the need for it is re-discovered (§2.3).
+const maxActionRetries = 1000
+
+// todoQueue is the volatile queue of lazy structure modifications with a
+// small worker pool. It does not survive crashes and is never logged
+// (§4.1.3).
+type todoQueue struct {
+	t *Tree
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []action
+	pending map[dedupKey]struct{}
+	busy    int
+	stopped bool
+
+	workers int
+	wg      sync.WaitGroup
+}
+
+func newTodoQueue(t *Tree, workers int) *todoQueue {
+	q := &todoQueue{
+		t:       t,
+		pending: make(map[dedupKey]struct{}),
+		workers: workers,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *todoQueue) start() {
+	for i := 0; i < q.workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// postPending reports whether a posting for (orig, new) is already queued;
+// hot paths (side traversals re-discover the same missing term on every
+// pass) use it to skip building the action at all.
+func (q *todoQueue) postPending(origID, newID page.PageID) bool {
+	key := dedupKey{kind: actPost, orig: origID, new: newID}
+	q.mu.Lock()
+	_, dup := q.pending[key]
+	q.mu.Unlock()
+	return dup
+}
+
+// enqueue adds an action unless an identical one is already pending.
+func (q *todoQueue) enqueue(a action) {
+	key := a.dedup()
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	if _, dup := q.pending[key]; dup {
+		q.mu.Unlock()
+		return
+	}
+	q.pending[key] = struct{}{}
+	q.queue = append(q.queue, a)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// requeue re-adds an action that must be retried later (with backoff via
+// retry counting; beyond the cap it is dropped and will be re-discovered).
+func (q *todoQueue) requeue(a action) {
+	a.retries++
+	if a.retries > maxActionRetries {
+		return
+	}
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	// Deliberately not deduplicated: the pending entry for this action is
+	// removed by the worker after process() returns, so re-adding under
+	// the same key here keeps the slot occupied.
+	q.queue = append(q.queue, a)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *todoQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue) + q.busy
+}
+
+// tryPop removes the next action without blocking.
+func (q *todoQueue) tryPop() (action, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.queue) == 0 {
+		return action{}, false
+	}
+	a := q.queue[0]
+	q.queue = q.queue[1:]
+	q.busy++
+	return a, true
+}
+
+// pop removes the next action; blocks until one is available or the queue
+// is stopped (ok=false).
+func (q *todoQueue) pop() (action, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.stopped {
+		q.cond.Wait()
+	}
+	if q.stopped && len(q.queue) == 0 {
+		return action{}, false
+	}
+	a := q.queue[0]
+	q.queue = q.queue[1:]
+	q.busy++
+	return a, true
+}
+
+// finish marks an action's processing complete and clears its dedup slot.
+func (q *todoQueue) finish(a action) {
+	q.mu.Lock()
+	delete(q.pending, a.dedup())
+	q.busy--
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *todoQueue) worker() {
+	defer q.wg.Done()
+	for {
+		a, ok := q.pop()
+		if !ok {
+			return
+		}
+		q.t.processActionGated(a)
+		q.finish(a)
+	}
+}
+
+// drain processes queued actions in the calling goroutine until the queue
+// is empty and all workers are idle. Actions that keep requeuing (e.g. a
+// reclaim blocked on a concurrent pin) get a tiny sleep so their blocker
+// can progress.
+func (q *todoQueue) drain() {
+	spins := 0
+	for {
+		q.mu.Lock()
+		if len(q.queue) == 0 {
+			if q.busy == 0 {
+				q.mu.Unlock()
+				return
+			}
+			// Workers are mid-action: wait for them.
+			q.cond.Wait()
+			q.mu.Unlock()
+			continue
+		}
+		a := q.queue[0]
+		q.queue = q.queue[1:]
+		q.busy++
+		q.mu.Unlock()
+
+		before := q.len()
+		q.t.processActionGated(a)
+		q.finish(a)
+		if q.len() >= before {
+			spins++
+			if spins%64 == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			if spins > 1_000_000 {
+				return // stuck actions keep the tree correct regardless
+			}
+		} else {
+			spins = 0
+		}
+	}
+}
+
+// stop shuts the queue down, discarding pending actions (they are volatile
+// by design) after giving workers a chance to finish the current one.
+func (q *todoQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTodoDedup(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	a := action{kind: actPost, origID: 1, newID: 2, dx: tr.DX()}
+	tr.todo.enqueue(a)
+	tr.todo.enqueue(a)
+	tr.todo.enqueue(a)
+	if got := tr.TodoLen(); got != 1 {
+		t.Fatalf("queue length = %d, want 1 (deduplicated)", got)
+	}
+	// A different action is not deduplicated.
+	tr.todo.enqueue(action{kind: actPost, origID: 1, newID: 3})
+	if got := tr.TodoLen(); got != 2 {
+		t.Fatalf("queue length = %d, want 2", got)
+	}
+}
+
+func TestTodoDedupClearsAfterProcessing(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	// A post whose parent hint is bogus simply aborts; afterwards the same
+	// action may be enqueued again.
+	a := action{kind: actPost, origID: 1, newID: 2, sep: []byte("x"),
+		parent: ref{id: 999, epoch: 1}}
+	tr.todo.enqueue(a)
+	tr.DrainTodo()
+	tr.todo.enqueue(a)
+	if got := tr.TodoLen(); got != 1 {
+		t.Fatalf("queue length after re-enqueue = %d, want 1", got)
+	}
+	tr.DrainTodo()
+}
+
+func TestTodoRequeueCapDrops(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	a := action{kind: actPost, retries: maxActionRetries}
+	tr.todo.requeue(a) // retries now exceeds the cap: dropped
+	if got := tr.TodoLen(); got != 0 {
+		t.Fatalf("over-retried action still queued: %d", got)
+	}
+}
+
+func TestTodoKindString(t *testing.T) {
+	cases := map[actionKind]string{
+		actPost: "post", actDelete: "delete", actShrink: "shrink",
+		actReclaim: "reclaim", actionKind(99): "action(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTodoStopDiscardsQueue(t *testing.T) {
+	tr, err := New(Options{Workers: WorkersNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.todo.enqueue(action{kind: actPost, origID: 5, newID: 6})
+	tr.todo.stop()
+	// enqueue after stop is a no-op.
+	tr.todo.enqueue(action{kind: actPost, origID: 7, newID: 8})
+	tr.Close()
+}
+
+func TestTodoWorkersProcessInBackground(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, Workers: 2})
+	for i := 0; i < 500; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workers should drain the queue without an explicit DrainTodo.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.TodoLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never drained the queue (%d left)", tr.TodoLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tr.Stats().PostsDone == 0 {
+		t.Fatal("workers processed nothing")
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTodoConcurrentEnqueueDrain(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, Workers: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tr.Put(key(g*300+i), valb(i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			tr.DrainTodo()
+		}
+	}()
+	wg.Wait()
+	<-done
+	mustVerify(t, tr)
+}
+
+func TestWriteFigureWalkthrough(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureWalkthrough(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"side traversal", "aborted",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("walkthrough missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"blinktree/internal/latch"
+)
+
+// pathEntry remembers one node the traversal descended through. The
+// remembered path optimizes index-term posting (the parent hint) and the
+// re-latch procedure (§2.4); dd snapshots the parent-of-leaf delete state
+// D_D at visit time (§4.1.2: "we remember the prior value for D_D when we
+// visit the node on the way to a leaf node").
+type pathEntry struct {
+	ref
+	level uint8
+	dd    uint64
+}
+
+// traverseOpts parameterizes a traversal (Appendix A.1).
+type traverseOpts struct {
+	key    []byte
+	level  uint8      // requested level; 0 for leaves
+	intent latch.Mode // latch mode at the target level: Shared or Update
+	// promote upgrades the target's Update latch to Exclusive before
+	// returning, per A.1 ("promoted to exclusive before exiting traverse").
+	promote bool
+	// dx is the remembered D_X, read before accessing the tree (§4.2.1a);
+	// enqueued actions carry it.
+	dx uint64
+}
+
+const maxTraverseRestarts = 10000
+
+// traverse descends from the root to the node at o.level covering o.key,
+// returning it latched (and pinned) together with the remembered path from
+// the root (topmost first). Latch coupling is used downward and rightward
+// unless the tree was built with NoDeleteSupport, in which case a single
+// latch is held at a time (§3.1.1: coupling is only required because nodes
+// can be deleted).
+func (t *Tree) traverse(o traverseOpts) (*node, []pathEntry, error) {
+	couple := !t.opts.NoDeleteSupport
+restart:
+	for attempt := 0; attempt < maxTraverseRestarts; attempt++ {
+		rootID, rootLevel := t.readAnchor()
+		if rootLevel < o.level {
+			return nil, nil, fmt.Errorf("blinktree: requested level %d above root level %d", o.level, rootLevel)
+		}
+		mode := t.modeFor(rootLevel, o.level, o.intent)
+		n, err := t.pinLatch(rootID, mode)
+		if err != nil {
+			// The root was shrunk away between the anchor read and the
+			// fetch; retry from the new anchor.
+			t.c.restarts.Add(1)
+			continue restart
+		}
+		if n.dead {
+			t.unlatchUnpin(n, mode, false)
+			t.c.restarts.Add(1)
+			continue restart
+		}
+		var path []pathEntry
+		for {
+			// Side traversals: the key lies beyond this node's key space,
+			// so follow the side pointer. Reaching a node only via its
+			// side pointer means its index term is missing: re-discover
+			// the posting (§2.3).
+			for n.pastHigh(t.cmp, o.key) {
+				sib := n.c.Right
+				if sib == 0 {
+					t.unlatchUnpin(n, mode, false)
+					return nil, nil, fmt.Errorf("blinktree: node %d high fence without sibling", n.id)
+				}
+				t.enqueuePostFromSideMove(n, path, o.dx)
+				var m *node
+				if couple {
+					m, err = t.pinLatch(sib, mode)
+					t.unlatchUnpin(n, mode, false)
+				} else {
+					t.unlatchUnpin(n, mode, false)
+					m, err = t.pinLatch(sib, mode)
+				}
+				if err != nil || m.dead {
+					if err == nil {
+						t.unlatchUnpin(m, mode, false)
+					}
+					t.c.restarts.Add(1)
+					continue restart
+				}
+				n = m
+				t.c.sideTraversals.Add(1)
+			}
+			if n.level() == o.level {
+				if o.promote && mode == latch.Update {
+					n.latch.Promote()
+				}
+				return n, path, nil
+			}
+			// Descend. The child cannot be deleted between reading its
+			// address and latching it: its deleter would need this node
+			// exclusively latched to remove the index term (latch
+			// coupling argument, §3.1.1).
+			ci := n.childFor(t.cmp, o.key)
+			if ci < 0 {
+				t.unlatchUnpin(n, mode, false)
+				return nil, nil, fmt.Errorf("blinktree: key %q below node %d low fence", o.key, n.id)
+			}
+			child := n.c.Children[ci]
+			childMode := t.modeFor(n.level()-1, o.level, o.intent)
+
+			path = append(path, pathEntry{
+				ref:   ref{id: n.id, epoch: n.c.Epoch},
+				level: n.level(),
+				dd:    n.c.DD,
+			})
+			t.maybeEnqueueDelete(n, path, o.dx)
+
+			var m *node
+			if couple {
+				m, err = t.pinLatch(child, childMode)
+				t.unlatchUnpin(n, mode, false)
+			} else {
+				t.unlatchUnpin(n, mode, false)
+				m, err = t.pinLatch(child, childMode)
+			}
+			if err != nil || m.dead {
+				if err == nil {
+					t.unlatchUnpin(m, childMode, false)
+				}
+				t.c.restarts.Add(1)
+				continue restart
+			}
+			n = m
+			mode = childMode
+		}
+	}
+	return nil, nil, fmt.Errorf("blinktree: traversal live-locked after %d restarts", maxTraverseRestarts)
+}
+
+// modeFor selects the latch mode for a node at nodeLevel during a traversal
+// to reqLevel: Shared above the target, the caller's intent at the target
+// (A.1: higher nodes are latched in share mode).
+func (t *Tree) modeFor(nodeLevel, reqLevel uint8, intent latch.Mode) latch.Mode {
+	if nodeLevel > reqLevel {
+		return latch.Shared
+	}
+	return intent
+}
+
+// enqueuePostFromSideMove re-discovers a missing index term: n's side link
+// carries the sibling's address and key space (the Pi-tree property), which
+// is the complete index term to post.
+func (t *Tree) enqueuePostFromSideMove(n *node, path []pathEntry, dx uint64) {
+	if t.todo.postPending(n.id, n.c.Right) {
+		return // already re-discovered; skip building the action
+	}
+	var parent ref
+	var dd uint64
+	if len(path) > 0 {
+		top := path[len(path)-1]
+		parent = top.ref
+		dd = top.dd
+	}
+	// The sibling's epoch is unknown here (we have not latched it yet);
+	// leave it zero — posts verify existence through D_D/D_X, and the
+	// epoch is only needed for the root-race fallback, which re-checks.
+	a := action{
+		kind:   actPost,
+		level:  n.level(),
+		origID: n.id, origEpoch: n.c.Epoch,
+		newID:  n.c.Right,
+		sep:    append([]byte(nil), n.c.High...),
+		parent: parent,
+		dx:     dx,
+		dd:     dd,
+	}
+	t.c.postsEnqueued.Add(1)
+	t.todo.enqueue(a)
+}
+
+// maybeEnqueueDelete enqueues a consolidation for an under-utilized node
+// seen during traversal (A.1 step 5). The root is never consolidated, but a
+// single-child index root triggers a shrink.
+func (t *Tree) maybeEnqueueDelete(n *node, path []pathEntry, dx uint64) {
+	if t.opts.NoDeleteSupport {
+		return
+	}
+	// Never read the anchor here: we hold n's latch, and the shrink SMO
+	// holds the anchor while waiting for a node latch. Whether n really is
+	// the root is re-verified by processShrink under the anchor.
+	isRoot := len(path) <= 1 // path already includes n itself when called after append
+	if isRoot {
+		if !n.isLeaf() && len(n.c.Children) == 1 && n.c.Right == 0 {
+			t.todo.enqueue(action{
+				kind: actShrink, origID: n.id, origEpoch: n.c.Epoch, level: n.level(),
+			})
+		}
+		return
+	}
+	if !t.underutilized(n) {
+		return
+	}
+	parent := path[len(path)-2] // entry above n
+	t.c.deletesEnqueued.Add(1)
+	t.todo.enqueue(action{
+		kind:   actDelete,
+		level:  n.level(),
+		origID: n.id, origEpoch: n.c.Epoch,
+		sep:    append([]byte(nil), n.c.Low...),
+		parent: parent.ref,
+		dx:     dx,
+	})
+}
+
+// maybeEnqueueLeafDelete is the leaf-level under-utilization check done by
+// read node / update node (§3.1.2–3.1.3) after an operation.
+func (t *Tree) maybeEnqueueLeafDelete(leaf *node, path []pathEntry, dx uint64) {
+	if t.opts.NoDeleteSupport || len(path) == 0 || !t.underutilized(leaf) {
+		return
+	}
+	parent := path[len(path)-1]
+	t.c.deletesEnqueued.Add(1)
+	t.todo.enqueue(action{
+		kind:   actDelete,
+		level:  leaf.level(),
+		origID: leaf.id, origEpoch: leaf.c.Epoch,
+		sep:    append([]byte(nil), leaf.c.Low...),
+		parent: parent.ref,
+		dx:     dx,
+	})
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blinktree/internal/buffer"
+	"blinktree/internal/latch"
+	"blinktree/internal/lock"
+	"blinktree/internal/page"
+	"blinktree/internal/storage"
+	"blinktree/internal/wal"
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrKeyNotFound is returned by Get/Delete/Update of an absent key.
+	ErrKeyNotFound = errors.New("blinktree: key not found")
+	// ErrEmptyKey is returned for zero-length keys; the empty key is the
+	// -infinity fence sentinel.
+	ErrEmptyKey = errors.New("blinktree: empty key")
+	// ErrEntryTooLarge is returned when a record cannot fit in a node.
+	ErrEntryTooLarge = errors.New("blinktree: entry too large for page")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("blinktree: tree closed")
+	// errDeleteState aborts a structure modification whose delete state
+	// changed (paper §2.3): the action is abandoned, to be re-discovered.
+	errDeleteState = errors.New("blinktree: delete state changed")
+)
+
+// deleteState is the global index-delete state D_X (§4.1.1): a counter
+// incremented whenever an index node is deleted, with a latch that is
+// latch-coupled with the parent latch in access parent (Figure 4).
+type deleteState struct {
+	l latch.Latch
+	v atomic.Uint64
+}
+
+// anchor is the volatile tree anchor: the root pointer and its level.
+// A stale root read is harmless — a former root still reaches every node at
+// or below its level via side traversals — so readers take only a brief
+// read lock and hold no latches.
+type anchor struct {
+	mu    sync.RWMutex
+	root  page.PageID
+	level uint8
+}
+
+// Tree is a B-link tree with delete-state-based node deletion.
+type Tree struct {
+	opts  Options
+	store storage.Store
+	pool  *buffer.Pool
+	log   *wal.Log // nil when logging is disabled
+	locks *lock.Manager
+
+	// cmp orders keys; bytewise reports whether it is the default
+	// bytes.Compare (enables separator truncation and prefix tricks).
+	cmp      Compare
+	bytewise bool
+
+	anchor anchor
+	dx     deleteState
+	todo   *todoQueue
+	c      counters
+
+	// epochGen issues node incarnation numbers in non-logged mode; with
+	// logging, epochs are SMO record LSNs (monotone across crashes).
+	epochGen atomic.Uint64
+
+	// txnSeq issues transaction IDs (resumed above recovered IDs).
+	txnSeq atomic.Uint64
+
+	// active tracks live transactions for checkpoint records.
+	active activeTxns
+
+	// ckpt gates operations against sharp checkpoints: every operation
+	// holds it shared, Checkpoint holds it exclusively.
+	ckpt sync.RWMutex
+
+	// smoMu is the global tree latch of the ARIES/IM-style comparator
+	// (Options.SerializeSMO): all structure modifications serialize on it.
+	// Never acquired while holding node latches.
+	smoMu sync.Mutex
+
+	// Drain-policy state: operation counters driving the reference-drain
+	// grace period, and the husk list of emptied pages awaiting it.
+	opsActive   atomic.Int64
+	opsFinished atomic.Uint64
+	drainMu     sync.Mutex
+	drainList   []drainEntry
+
+	closed atomic.Bool
+}
+
+// drainEntry is a deleted page waiting out the drain grace period.
+type drainEntry struct {
+	id        page.PageID
+	releaseAt uint64 // opsFinished horizon at which references have drained
+}
+
+// codec deserializes page images into nodes for the buffer pool.
+type codec struct{}
+
+// Unmarshal implements buffer.Codec.
+func (codec) Unmarshal(data []byte) (buffer.Object, error) {
+	c, err := page.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return &node{id: c.ID, c: *c}, nil
+}
+
+// New creates a tree. With a LogDevice holding an existing log, the tree is
+// recovered from it (redo, then undo of loser transactions); otherwise a
+// fresh single-leaf tree is formatted.
+func New(opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if opts.Workers == WorkersNone {
+		opts.Workers = 0
+	}
+	t := &Tree{
+		opts:  opts,
+		store: opts.Store,
+		locks: lock.NewManager(),
+	}
+	if opts.Compare != nil {
+		t.cmp = opts.Compare
+		t.bytewise = false
+	} else {
+		t.cmp = bytes.Compare
+		t.bytewise = true
+	}
+	t.active.m = make(map[uint64]*Txn)
+	if opts.LogDevice != nil {
+		log, err := wal.NewLog(opts.LogDevice)
+		if err != nil {
+			return nil, fmt.Errorf("blinktree: opening log: %w", err)
+		}
+		t.log = log
+	}
+	t.pool = buffer.NewPool(t.store, t.log, codec{}, opts.CacheSize)
+	t.todo = newTodoQueue(t, opts.Workers)
+
+	recovered := false
+	if t.log != nil {
+		var err error
+		recovered, err = t.recover()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !recovered {
+		if err := t.format(); err != nil {
+			return nil, err
+		}
+	}
+	t.todo.start()
+	return t, nil
+}
+
+// format initializes a fresh tree: a single empty leaf as the root.
+func (t *Tree) format() error {
+	rootC := page.Content{
+		Kind:  page.Leaf,
+		Level: 0,
+		Low:   []byte{},
+		Keys:  [][]byte{},
+		Vals:  [][]byte{},
+	}
+	root, err := t.allocNode(rootC)
+	if err != nil {
+		return err
+	}
+	t.anchor.root = root.id
+	t.anchor.level = 0
+	if t.log != nil {
+		_, err = t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
+			root.c.LSN = uint64(lsn)
+			root.c.Epoch = uint64(lsn)
+			img, merr := root.Marshal(t.opts.PageSize)
+			if merr != nil {
+				panic(merr) // fresh empty root always fits
+			}
+			return &wal.Record{
+				Type:   wal.TSMO,
+				SMO:    wal.SMOFormat,
+				Images: []wal.PageImage{{ID: root.id, Data: img}},
+				Allocs: []page.PageID{root.id},
+				Root:   root.id,
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if err := t.log.FlushAll(); err != nil {
+			return err
+		}
+	}
+	t.pool.Unpin(root.id, true)
+	return nil
+}
+
+// readAnchor returns the current root and its level.
+func (t *Tree) readAnchor() (page.PageID, uint8) {
+	t.anchor.mu.RLock()
+	defer t.anchor.mu.RUnlock()
+	return t.anchor.root, t.anchor.level
+}
+
+// fetch pins the node for id.
+func (t *Tree) fetch(id page.PageID) (*node, error) {
+	obj, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*node), nil
+}
+
+// pinLatch pins id and acquires its latch in the given mode. On error
+// nothing is held. The caller must check n.dead where a deleted node is
+// possible.
+func (t *Tree) pinLatch(id page.PageID, m latch.Mode) (*node, error) {
+	n, err := t.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	n.latch.Acquire(m)
+	return n, nil
+}
+
+// unlatchUnpin releases the latch and the pin.
+func (t *Tree) unlatchUnpin(n *node, m latch.Mode, dirty bool) {
+	n.latch.Release(m)
+	t.pool.Unpin(n.id, dirty)
+}
+
+// allocNode allocates a store page and registers a node for it, returned
+// pinned. In non-logged mode the epoch is assigned here; in logged mode the
+// caller's SMO stamps it with the SMO record's LSN.
+func (t *Tree) allocNode(c page.Content) (*node, error) {
+	id, err := t.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if t.log == nil {
+		c.Epoch = t.epochGen.Add(1)
+	}
+	n := newNode(id, c)
+	if err := t.pool.Insert(id, n); err != nil {
+		derr := t.store.Deallocate(id)
+		if derr != nil {
+			return nil, errors.Join(err, derr)
+		}
+		return nil, err
+	}
+	return n, nil
+}
+
+// reclaim removes a dead node's page. The caller must have released its own
+// pin; if another goroutine still pins the frame (it will observe the dead
+// flag and back off), reclamation is retried via the to-do queue.
+func (t *Tree) reclaim(id page.PageID) {
+	ok, err := t.pool.DiscardIfUnpinned(id, func() error {
+		return t.store.Deallocate(id)
+	})
+	if err != nil {
+		// Duplicate reclaim of an already-deallocated page: ignore.
+		return
+	}
+	if !ok {
+		t.c.reclaimRetry.Add(1)
+		t.todo.enqueue(action{kind: actReclaim, origID: id})
+	}
+}
+
+// Stats returns a snapshot of the tree's activity counters.
+func (t *Tree) Stats() Stats { return t.c.snapshot() }
+
+// DX returns the current global index-delete-state counter, for tests and
+// experiment reporting.
+func (t *Tree) DX() uint64 { return t.dx.v.Load() }
+
+// PoolStats returns buffer pool statistics.
+func (t *Tree) PoolStats() buffer.Stats { return t.pool.Snapshot() }
+
+// StoreStats returns page store statistics (live page count drives the
+// utilization experiment E2).
+func (t *Tree) StoreStats() storage.Stats { return t.store.Stats() }
+
+// LockStats returns lock manager statistics.
+func (t *Tree) LockStats() lock.Stats { return t.locks.Snapshot() }
+
+// LogStats returns the write-ahead log's (appended records, forced
+// flushes); zeros when logging is disabled. The logging experiment (E3)
+// compares these across delete policies.
+func (t *Tree) LogStats() (appends, flushes uint64) {
+	if t.log == nil {
+		return 0, 0
+	}
+	return t.log.Stats()
+}
+
+// Height returns the current root level (a single-leaf tree has height 0).
+func (t *Tree) Height() uint8 {
+	_, lvl := t.readAnchor()
+	return lvl
+}
+
+// DrainTodo synchronously processes queued structure modifications until
+// the queue is empty and idle. Tests and benchmarks use it to reach a
+// quiescent, fully-posted state. Under the drain policy, it also reclaims
+// every husk (quiescence means all references have drained).
+func (t *Tree) DrainTodo() {
+	t.todo.drain()
+	if t.opts.DeletePolicy == Drain {
+		t.drainReclaim(true)
+	}
+}
+
+// DrainPending returns the number of deleted pages still waiting out the
+// drain grace period (drain policy only); experiment E2 reports it.
+func (t *Tree) DrainPending() int {
+	t.drainMu.Lock()
+	defer t.drainMu.Unlock()
+	return len(t.drainList)
+}
+
+// TodoLen returns the number of queued structure-modification actions.
+func (t *Tree) TodoLen() int { return t.todo.len() }
+
+// Checkpoint takes a sharp checkpoint: operations are quiesced, all dirty
+// pages are flushed (honoring the WAL rule), and a checkpoint record is
+// logged and forced. Redo after a crash restarts at the checkpoint.
+func (t *Tree) Checkpoint() error {
+	if t.log == nil {
+		return nil
+	}
+	t.ckpt.Lock()
+	defer t.ckpt.Unlock()
+	if err := t.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	root, _ := t.readAnchor()
+	// Operations are quiesced (ckpt held exclusively), but transactions
+	// can span checkpoints: record the live ones so analysis still finds
+	// losers whose records all precede the checkpoint.
+	t.active.mu.Lock()
+	var act []wal.ActiveTxn
+	for id, x := range t.active.m {
+		act = append(act, wal.ActiveTxn{ID: id, LastLSN: x.last()})
+	}
+	t.active.mu.Unlock()
+	if _, err := t.log.Append(&wal.Record{
+		Type:   wal.TCheckpoint,
+		Root:   root,
+		Active: act,
+	}); err != nil {
+		return err
+	}
+	return t.log.FlushAll()
+}
+
+// Close drains the to-do queue, flushes state and shuts the tree down.
+func (t *Tree) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.todo.stop()
+	if t.log != nil {
+		if err := t.pool.FlushAll(); err != nil {
+			return err
+		}
+		if err := t.log.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return t.store.Sync()
+}
+
+// FlushLog forces all appended log records durable without checkpointing.
+// Crash-simulation harnesses use it to define the durable horizon before
+// simulating a failure.
+func (t *Tree) FlushLog() error {
+	if t.log == nil {
+		return nil
+	}
+	return t.log.FlushAll()
+}
+
+// Abandon stops background workers without flushing any state, simulating
+// process death. The tree is unusable afterwards; reopen over the same log
+// device to exercise recovery.
+func (t *Tree) Abandon() {
+	t.closed.Store(true)
+	t.todo.stop()
+}
+
+// opBegin gates an operation against checkpoints and rejects closed trees.
+func (t *Tree) opBegin() error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	t.ckpt.RLock()
+	if t.closed.Load() {
+		t.ckpt.RUnlock()
+		return ErrClosed
+	}
+	if t.opts.DeletePolicy == Drain {
+		t.opsActive.Add(1)
+	}
+	return nil
+}
+
+func (t *Tree) opEnd() {
+	if t.opts.DeletePolicy == Drain {
+		t.opsActive.Add(-1)
+		t.opsFinished.Add(1)
+	}
+	t.ckpt.RUnlock()
+}
+
+// drainDefer parks a deleted page until outstanding references could have
+// drained: after every operation active at deletion time has finished.
+func (t *Tree) drainDefer(id page.PageID) {
+	release := t.opsFinished.Load() + uint64(t.opsActive.Load()) + 1
+	t.drainMu.Lock()
+	t.drainList = append(t.drainList, drainEntry{id: id, releaseAt: release})
+	t.drainMu.Unlock()
+}
+
+// drainReclaim frees husks whose grace period has passed. force reclaims
+// everything (Close / quiescent drains).
+func (t *Tree) drainReclaim(force bool) {
+	horizon := t.opsFinished.Load()
+	t.drainMu.Lock()
+	var keep []drainEntry
+	var free []page.PageID
+	for _, e := range t.drainList {
+		if force || horizon >= e.releaseAt {
+			free = append(free, e.id)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	t.drainList = keep
+	t.drainMu.Unlock()
+	for _, id := range free {
+		t.reclaim(id)
+	}
+}
+
+// maxEntry returns the largest record that fits: a page must hold at least
+// two entries plus fences for splits to terminate.
+func (t *Tree) maxEntry() int {
+	return (t.opts.PageSize - 128) / 2
+}
+
+// validateEntry rejects keys/values the tree cannot store.
+func (t *Tree) validateEntry(key, val []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if page.EntrySize(page.Leaf, len(key), len(val))+len(key) > t.maxEntry() {
+		return fmt.Errorf("%w: key %d + value %d bytes", ErrEntryTooLarge, len(key), len(val))
+	}
+	return nil
+}
+
+// underutilized reports whether n qualifies for consolidation. The drain
+// and ARIES/IM comparators require the node to be completely empty (§1.3:
+// "It requires waiting until a node is empty before deleting it. ... The
+// method of [15] also requires pages to be empty."); the paper's method
+// consolidates at any utilization bound.
+func (t *Tree) underutilized(n *node) bool {
+	if t.opts.MinFill <= 0 {
+		return false
+	}
+	if t.opts.DeletePolicy == Drain || t.opts.SerializeSMO {
+		return len(n.c.Keys) == 0
+	}
+	return float64(n.size()) < t.opts.MinFill*float64(t.opts.PageSize)
+}

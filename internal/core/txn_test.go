@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"blinktree/internal/wal"
+)
+
+func TestTxnCommitVisible(t *testing.T) {
+	tr := newTestTree(t, Options{LogDevice: wal.NewMemDevice()})
+	x, err := tr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("after commit: %q, %v", got, err)
+	}
+	if err := x.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestTxnAbortRollsBack(t *testing.T) {
+	tr := newTestTree(t, Options{LogDevice: wal.NewMemDevice()})
+	tr.Put([]byte("existing"), []byte("old"))
+	x, _ := tr.Begin()
+	x.Put([]byte("fresh"), []byte("dirty"))
+	x.Put([]byte("existing"), []byte("dirty"))
+	x.Delete([]byte("existing")) // delete the value it just wrote
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get([]byte("fresh")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("aborted insert visible: %v", err)
+	}
+	got, err := tr.Get([]byte("existing"))
+	if err != nil || string(got) != "old" {
+		t.Fatalf("aborted update not rolled back: %q, %v", got, err)
+	}
+	mustVerify(t, tr)
+}
+
+func TestTxnAbortRollsBackManyAcrossSplits(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, LogDevice: wal.NewMemDevice()})
+	x, _ := tr.Begin()
+	for i := 0; i < 500; i++ {
+		if err := x.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt, _ := tr.Len(); cnt != 0 {
+		t.Fatalf("Len after abort = %d, want 0", cnt)
+	}
+	mustVerify(t, tr) // splits persist (SMOs are system actions), records do not
+	if tr.Stats().Splits == 0 {
+		t.Fatal("expected splits during the big transaction")
+	}
+}
+
+func TestTxnIsolationBlocksConflict(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	x1, _ := tr.Begin()
+	if err := x1.Put([]byte("k"), []byte("x1")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		x2, _ := tr.Begin()
+		defer x2.Commit()
+		_, err := x2.Get([]byte("k")) // must block until x1 finishes
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("conflicting read did not block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := x1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked read after commit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read never resumed")
+	}
+	if tr.Stats().NoWaitDenied == 0 {
+		t.Fatal("no-wait denial path never taken")
+	}
+}
+
+func TestTxnNoWaitRelatchFindsMovedRecord(t *testing.T) {
+	// While a reader waits for a lock, the writer splits the leaf so the
+	// record moves; the re-latch must find it in its new node.
+	tr := newTestTree(t, Options{PageSize: 512})
+	for i := 0; i < 6; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	x1, _ := tr.Begin()
+	if err := x1.Put(key(3), []byte("locked")); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	errs := make(chan error, 1)
+	go func() {
+		x2, _ := tr.Begin()
+		defer x2.Commit()
+		v, err := x2.Get(key(3))
+		errs <- err
+		got <- v
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Split the leaf while the reader waits: fill the page.
+	for i := 100; i < 200; i++ {
+		if err := x1.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().Splits == 0 {
+		t.Fatal("setup failed: no split while reader waited")
+	}
+	if err := x1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("reader after relatch: %v", err)
+	}
+	if v := <-got; string(v) != "locked" {
+		t.Fatalf("reader saw %q", v)
+	}
+	if tr.Stats().Relatches == 0 {
+		t.Fatal("re-latch path never taken")
+	}
+}
+
+func TestTxnDeadlockVictimAborted(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	tr.Put([]byte("a"), []byte("0"))
+	tr.Put([]byte("b"), []byte("0"))
+
+	var ready sync.WaitGroup
+	ready.Add(2)
+	start := make(chan struct{})
+	results := make(chan error, 2)
+	run := func(first, second []byte) {
+		x, _ := tr.Begin()
+		if err := x.Put(first, []byte("1")); err != nil {
+			ready.Done()
+			results <- err
+			return
+		}
+		ready.Done()
+		<-start // both first locks are held before anyone proceeds
+		err := x.Put(second, []byte("1"))
+		if err == nil {
+			err = x.Commit()
+		}
+		// On ErrTxnAborted the rollback already happened inside Put.
+		results <- err
+	}
+	go run([]byte("a"), []byte("b"))
+	go run([]byte("b"), []byte("a"))
+	ready.Wait()
+	close(start)
+
+	var aborted, committed int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			switch {
+			case err == nil:
+				committed++
+			case errors.Is(err, ErrTxnAborted):
+				aborted++
+			default:
+				t.Fatalf("unexpected: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("deadlock never resolved")
+		}
+	}
+	if aborted == 0 {
+		t.Fatalf("no deadlock victim (committed=%d)", committed)
+	}
+	if tr.Stats().TxnDeadlocks == 0 {
+		t.Fatal("deadlock stat not recorded")
+	}
+	mustVerify(t, tr)
+}
+
+func TestTxnOpsAfterFinish(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	x, _ := tr.Begin()
+	x.Commit()
+	if err := x.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Put on finished txn: %v", err)
+	}
+	if _, err := x.Get([]byte("k")); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Get on finished txn: %v", err)
+	}
+	if err := x.Delete([]byte("k")); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Delete on finished txn: %v", err)
+	}
+	if err := x.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Abort on finished txn: %v", err)
+	}
+}
+
+func TestTxnConcurrentDisjointCommits(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 512, LogDevice: wal.NewMemDevice(), Workers: 2})
+	const goroutines, per = 6, 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				x, err := tr.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				k := g*per + i
+				if err := x.Put(key(k), valb(k)); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					x.Abort()
+					return
+				}
+				if err := x.Commit(); err != nil {
+					t.Errorf("commit %d: %v", k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mustVerify(t, tr)
+	if n, _ := tr.Len(); n != goroutines*per {
+		t.Fatalf("Len = %d, want %d", n, goroutines*per)
+	}
+	if s := tr.Stats(); s.TxnCommits != goroutines*per {
+		t.Fatalf("TxnCommits = %d", s.TxnCommits)
+	}
+}
+
+func TestTxnContendedCounterSerializes(t *testing.T) {
+	// Classic increment race: with strict 2PL every read-modify-write is
+	// serialized, so the counter must equal the number of increments
+	// (retries on deadlock victims included).
+	tr := newTestTree(t, Options{})
+	tr.Put([]byte("ctr"), []byte{0, 0})
+	const goroutines, per = 4, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					x, _ := tr.Begin()
+					v, err := x.Get([]byte("ctr"))
+					if err != nil {
+						if errors.Is(err, ErrTxnAborted) {
+							continue // deadlock victim: retry
+						}
+						t.Error(err)
+						return
+					}
+					n := int(v[0])<<8 | int(v[1])
+					n++
+					err = x.Put([]byte("ctr"), []byte{byte(n >> 8), byte(n)})
+					if err != nil {
+						if errors.Is(err, ErrTxnAborted) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					if err := x.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := tr.Get([]byte("ctr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(v[0])<<8 | int(v[1]); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestTxnGetMissingStillLocks(t *testing.T) {
+	tr := newTestTree(t, Options{})
+	x, _ := tr.Begin()
+	if _, err := x.Get([]byte("ghost")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	// The shared lock on the key is held until commit.
+	if tr.locks.HeldMode(x.owner(), "ghost") == 0 {
+		t.Fatal("no lock held after Get of missing key")
+	}
+	x.Commit()
+	if tr.locks.HeldMode(x.owner(), "ghost") != 0 {
+		t.Fatal("lock survived commit")
+	}
+}
+
+func TestTxnDeleteRollbackRestoresValue(t *testing.T) {
+	tr := newTestTree(t, Options{LogDevice: wal.NewMemDevice()})
+	tr.Put([]byte("k"), []byte("precious"))
+	x, _ := tr.Begin()
+	if err := x.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get([]byte("k"))
+	if err != nil || !bytes.Equal(got, []byte("precious")) {
+		t.Fatalf("after abort: %q, %v", got, err)
+	}
+}

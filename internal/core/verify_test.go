@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"blinktree/internal/latch"
+	"blinktree/internal/page"
+)
+
+// withNode latches a node exclusively and runs fn on it.
+func withNode(t *testing.T, tr *Tree, idx int, lvl uint8, fn func(*node)) {
+	t.Helper()
+	ids, err := tr.LevelNodes(lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx >= len(ids) {
+		t.Fatalf("level %d has only %d nodes", lvl, len(ids))
+	}
+	n, err := tr.pinLatch(ids[idx], latch.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(n)
+	tr.unlatchUnpin(n, latch.Exclusive, true)
+}
+
+func buildVerifyTree(t *testing.T) *Tree {
+	tr := newTestTree(t, Options{PageSize: 512})
+	for i := 0; i < 600; i++ {
+		tr.Put(key(i), valb(i))
+	}
+	tr.DrainTodo()
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("baseline tree dirty: %v", err)
+	}
+	return tr
+}
+
+func expectViolation(t *testing.T, tr *Tree, substr string) {
+	t.Helper()
+	err := tr.Verify()
+	if err == nil {
+		t.Fatalf("corruption not detected (want %q)", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("violation %q does not mention %q", err, substr)
+	}
+}
+
+func TestVerifyDetectsKeyOrderViolation(t *testing.T) {
+	tr := buildVerifyTree(t)
+	withNode(t, tr, 1, 0, func(n *node) {
+		if len(n.c.Keys) >= 2 {
+			n.c.Keys[0], n.c.Keys[1] = n.c.Keys[1], n.c.Keys[0]
+		}
+	})
+	expectViolation(t, tr, "out of order")
+}
+
+func TestVerifyDetectsFenceViolation(t *testing.T) {
+	tr := buildVerifyTree(t)
+	withNode(t, tr, 1, 0, func(n *node) {
+		n.c.Keys[0] = []byte("\x00below-everything")
+	})
+	expectViolation(t, tr, "below")
+}
+
+func TestVerifyDetectsChainGap(t *testing.T) {
+	tr := buildVerifyTree(t)
+	withNode(t, tr, 0, 0, func(n *node) {
+		// Extending the leftmost leaf's high fence keeps its own
+		// invariants intact but breaks High == right sibling's Low.
+		n.c.High = append(n.c.High, 'x')
+	})
+	expectViolation(t, tr, "chain gap")
+}
+
+func TestVerifyDetectsWrongIndexTerm(t *testing.T) {
+	tr := buildVerifyTree(t)
+	if tr.Height() < 1 {
+		t.Skip("tree too small")
+	}
+	withNode(t, tr, 0, 1, func(n *node) {
+		if len(n.c.Keys) >= 2 {
+			n.c.Keys[1] = append(n.c.Keys[1], 'z')
+		}
+	})
+	// Either the child-low/term mismatch or the chain invariant trips.
+	if err := tr.Verify(); err == nil {
+		t.Fatal("wrong index term not detected")
+	}
+}
+
+func TestVerifyDetectsMismatchedVals(t *testing.T) {
+	tr := buildVerifyTree(t)
+	withNode(t, tr, 0, 0, func(n *node) {
+		n.c.Vals = n.c.Vals[:len(n.c.Vals)-1]
+	})
+	expectViolation(t, tr, "vals")
+}
+
+func TestNodeSnapshotAndLevelNodes(t *testing.T) {
+	tr := buildVerifyTree(t)
+	leaves, err := tr.LevelNodes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) < 2 {
+		t.Fatalf("only %d leaves", len(leaves))
+	}
+	info, err := tr.NodeSnapshot(leaves[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 0 || len(info.Low) != 0 {
+		t.Fatalf("leftmost leaf snapshot: %+v", info)
+	}
+	if info.Size <= 0 || info.Size > 512 {
+		t.Fatalf("size = %d", info.Size)
+	}
+	if _, err := tr.LevelNodes(9); err == nil {
+		t.Fatal("LevelNodes above root succeeded")
+	}
+	if tr.RootID() == 0 {
+		t.Fatal("zero root")
+	}
+}
+
+func TestNodeStringForms(t *testing.T) {
+	n := newNode(7, page.Content{Kind: page.Leaf, Low: []byte("a"), Keys: [][]byte{}, Vals: [][]byte{}})
+	if s := n.String(); !strings.Contains(s, "node 7") {
+		t.Fatalf("node.String() = %q", s)
+	}
+	if highString(nil) != "+inf" {
+		t.Fatal("highString(nil)")
+	}
+}

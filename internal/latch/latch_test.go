@@ -1,0 +1,348 @@
+package latch
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{None: "-", Shared: "S", Update: "U", Exclusive: "X", Mode(9): "?"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// The matrix from paper §2.4: S-S yes, S-U yes, U-U no, X-anything no.
+	cases := []struct {
+		held, req Mode
+		want      bool
+	}{
+		{None, Shared, true}, {None, Update, true}, {None, Exclusive, true},
+		{Shared, Shared, true}, {Shared, Update, true}, {Shared, Exclusive, false},
+		{Update, Shared, true}, {Update, Update, false}, {Update, Exclusive, false},
+		{Exclusive, Shared, false}, {Exclusive, Update, false}, {Exclusive, Exclusive, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.held, c.req); got != c.want {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", c.held, c.req, got, c.want)
+		}
+	}
+}
+
+func TestSharedConcurrent(t *testing.T) {
+	var l Latch
+	l.Acquire(Shared)
+	if !l.TryAcquire(Shared) {
+		t.Fatal("second shared acquisition refused")
+	}
+	if r, _, _ := l.Held(); r != 2 {
+		t.Fatalf("readers = %d, want 2", r)
+	}
+	l.Release(Shared)
+	l.Release(Shared)
+	if r, u, x := l.Held(); r != 0 || u || x {
+		t.Fatalf("latch not empty after releases: %d %v %v", r, u, x)
+	}
+}
+
+func TestUpdateCompatibleWithShared(t *testing.T) {
+	var l Latch
+	l.Acquire(Update)
+	if !l.TryAcquire(Shared) {
+		t.Fatal("shared refused alongside update")
+	}
+	if l.TryAcquire(Update) {
+		t.Fatal("second update granted")
+	}
+	if l.TryAcquire(Exclusive) {
+		t.Fatal("exclusive granted alongside update+shared")
+	}
+	l.Release(Shared)
+	l.Release(Update)
+}
+
+func TestExclusiveExcludesAll(t *testing.T) {
+	var l Latch
+	l.Acquire(Exclusive)
+	for _, m := range []Mode{Shared, Update, Exclusive} {
+		if l.TryAcquire(m) {
+			t.Fatalf("%v granted alongside exclusive", m)
+		}
+	}
+	l.Release(Exclusive)
+	if !l.TryAcquire(Exclusive) {
+		t.Fatal("exclusive refused on free latch")
+	}
+	l.Release(Exclusive)
+}
+
+func TestAcquireNoneIsNoop(t *testing.T) {
+	var l Latch
+	l.Acquire(None)
+	if !l.TryAcquire(None) {
+		t.Fatal("TryAcquire(None) = false")
+	}
+	l.Release(None)
+	if !l.TryAcquire(Exclusive) {
+		t.Fatal("latch disturbed by None operations")
+	}
+	l.Release(Exclusive)
+}
+
+func TestPromoteWaitsForReaders(t *testing.T) {
+	var l Latch
+	l.Acquire(Update)
+	l.Acquire(Shared)
+
+	promoted := make(chan struct{})
+	go func() {
+		l.Promote()
+		close(promoted)
+	}()
+
+	select {
+	case <-promoted:
+		t.Fatal("promotion completed while a reader was present")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	l.Release(Shared)
+	select {
+	case <-promoted:
+	case <-time.After(time.Second):
+		t.Fatal("promotion did not complete after reader drained")
+	}
+	if _, _, x := l.Held(); !x {
+		t.Fatal("exclusive not held after promotion")
+	}
+	l.Release(Exclusive)
+}
+
+func TestPromotionBlocksNewReaders(t *testing.T) {
+	var l Latch
+	l.Acquire(Update)
+	l.Acquire(Shared)
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		l.Release(Shared)
+	}()
+	done := make(chan struct{})
+	go func() {
+		l.Promote()
+		close(done)
+	}()
+	// Give the promoter time to set the promoting flag, then verify a new
+	// reader is refused so promotion cannot starve.
+	time.Sleep(10 * time.Millisecond)
+	if l.TryAcquire(Shared) {
+		t.Fatal("new reader admitted during pending promotion")
+	}
+	<-done
+	l.Release(Exclusive)
+}
+
+func TestTryPromote(t *testing.T) {
+	var l Latch
+	l.Acquire(Update)
+	l.Acquire(Shared)
+	if l.TryPromote() {
+		t.Fatal("TryPromote succeeded with reader present")
+	}
+	l.Release(Shared)
+	if !l.TryPromote() {
+		t.Fatal("TryPromote failed with no readers")
+	}
+	l.Release(Exclusive)
+}
+
+func TestDemote(t *testing.T) {
+	var l Latch
+	l.Acquire(Exclusive)
+	l.Demote()
+	if r, _, x := l.Held(); x || r != 1 {
+		t.Fatalf("after demote: readers=%d exclusive=%v", r, x)
+	}
+	if !l.TryAcquire(Shared) {
+		t.Fatal("reader refused after demote")
+	}
+	l.Release(Shared)
+	l.Release(Shared)
+}
+
+func TestWritersNotStarved(t *testing.T) {
+	var l Latch
+	l.Acquire(Shared)
+	got := make(chan struct{})
+	go func() {
+		l.Acquire(Exclusive)
+		close(got)
+	}()
+	// Wait until the writer is queued, then verify new readers defer to it.
+	deadline := time.Now().Add(time.Second)
+	for {
+		l.mu.Lock()
+		waiting := l.waitingX
+		l.mu.Unlock()
+		if waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.TryAcquire(Shared) {
+		t.Fatal("reader admitted ahead of waiting writer")
+	}
+	l.Release(Shared)
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("writer never granted")
+	}
+	l.Release(Exclusive)
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	for _, m := range []Mode{Shared, Update, Exclusive} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%v) on free latch did not panic", m)
+				}
+			}()
+			var l Latch
+			l.Release(m)
+		}()
+	}
+}
+
+func TestPromoteWithoutUpdatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Promote without update holder did not panic")
+		}
+	}()
+	var l Latch
+	l.Promote()
+}
+
+// TestMutualExclusionStress hammers a latch from many goroutines and checks
+// the fundamental invariant: an exclusive holder is alone, and an update
+// holder is unique.
+func TestMutualExclusionStress(t *testing.T) {
+	var l Latch
+	var (
+		inShared atomic.Int64
+		inUpdate atomic.Int64
+		inExcl   atomic.Int64
+		bad      atomic.Int64
+	)
+	check := func() {
+		s, u, x := inShared.Load(), inUpdate.Load(), inExcl.Load()
+		if x > 1 || u > 1 || (x == 1 && (s > 0 || u > 0)) {
+			bad.Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					l.Acquire(Shared)
+					inShared.Add(1)
+					check()
+					inShared.Add(-1)
+					l.Release(Shared)
+				case 1:
+					l.Acquire(Update)
+					inUpdate.Add(1)
+					check()
+					if rng.Intn(2) == 0 {
+						inUpdate.Add(-1)
+						l.Promote()
+						inExcl.Add(1)
+						check()
+						inExcl.Add(-1)
+						l.Release(Exclusive)
+					} else {
+						inUpdate.Add(-1)
+						l.Release(Update)
+					}
+				default:
+					l.Acquire(Exclusive)
+					inExcl.Add(1)
+					check()
+					inExcl.Add(-1)
+					l.Release(Exclusive)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("observed %d exclusion violations", n)
+	}
+	if r, u, x := l.Held(); r != 0 || u || x {
+		t.Fatalf("latch not free after stress: %d %v %v", r, u, x)
+	}
+}
+
+// TestCompatibleQuick property-tests that Compatible is consistent with
+// canGrant for single-holder states.
+func TestCompatibleQuick(t *testing.T) {
+	f := func(heldRaw, reqRaw uint8) bool {
+		held := Mode(heldRaw%3 + 1) // Shared, Update, Exclusive
+		req := Mode(reqRaw%3 + 1)
+		var l Latch
+		l.Acquire(held)
+		got := l.TryAcquire(req)
+		want := Compatible(held, req)
+		if got {
+			l.Release(req)
+		}
+		l.Release(held)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	ResetStats()
+	var l Latch
+	l.Acquire(Shared)
+	l.Release(Shared)
+	l.Acquire(Update)
+	l.Promote()
+	l.Release(Exclusive)
+	l.Acquire(Exclusive)
+	if l.TryAcquire(Shared) {
+		t.Fatal("unexpected grant")
+	}
+	l.Release(Exclusive)
+	s := Snapshot()
+	if s.AcquireShared != 1 || s.AcquireUpdate != 1 || s.AcquireExclusive != 1 {
+		t.Fatalf("acquire counts = %+v", s)
+	}
+	if s.Promotions != 1 || s.TryFailures != 1 {
+		t.Fatalf("promotions/tryFailures = %+v", s)
+	}
+	ResetStats()
+	if s := Snapshot(); s.AcquireShared != 0 {
+		t.Fatalf("ResetStats did not zero: %+v", s)
+	}
+}

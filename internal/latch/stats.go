@@ -1,0 +1,65 @@
+package latch
+
+import "sync/atomic"
+
+// Stats aggregates package-wide latch activity. Counters are maintained with
+// atomics and are cheap enough to keep always-on; the experiment harness uses
+// them to report latch waits and no-wait failures (paper §2.4).
+type Stats struct {
+	AcquireShared    uint64 // granted S requests
+	AcquireUpdate    uint64 // granted U requests
+	AcquireExclusive uint64 // granted X requests
+	Waits            uint64 // blocking acquisitions that had to wait
+	TryFailures      uint64 // TryAcquire calls that were refused
+	Promotions       uint64 // U→X promotions
+}
+
+var stats struct {
+	acquireS atomic.Uint64
+	acquireU atomic.Uint64
+	acquireX atomic.Uint64
+	waits    atomic.Uint64
+	tryFail  atomic.Uint64
+	promote  atomic.Uint64
+}
+
+func recordAcquire(m Mode, waited bool) {
+	switch m {
+	case Shared:
+		stats.acquireS.Add(1)
+	case Update:
+		stats.acquireU.Add(1)
+	case Exclusive:
+		stats.acquireX.Add(1)
+	}
+	if waited {
+		stats.waits.Add(1)
+	}
+}
+
+func recordTryFail(Mode) { stats.tryFail.Add(1) }
+func recordPromote()     { stats.promote.Add(1) }
+
+// Snapshot returns the current package-wide latch statistics.
+func Snapshot() Stats {
+	return Stats{
+		AcquireShared:    stats.acquireS.Load(),
+		AcquireUpdate:    stats.acquireU.Load(),
+		AcquireExclusive: stats.acquireX.Load(),
+		Waits:            stats.waits.Load(),
+		TryFailures:      stats.tryFail.Load(),
+		Promotions:       stats.promote.Load(),
+	}
+}
+
+// ResetStats zeroes the package-wide latch statistics. Intended for use
+// between benchmark runs; concurrent latch traffic during the reset may be
+// partially counted.
+func ResetStats() {
+	stats.acquireS.Store(0)
+	stats.acquireU.Store(0)
+	stats.acquireX.Store(0)
+	stats.waits.Store(0)
+	stats.tryFail.Store(0)
+	stats.promote.Store(0)
+}

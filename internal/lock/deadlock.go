@@ -1,0 +1,85 @@
+package lock
+
+// Deadlock detection on the waits-for graph.
+//
+// A new cycle can only be closed by a newly added wait edge, so detection is
+// run by the blocking requester itself: if the requester can reach itself in
+// the waits-for graph, it is chosen as the victim and its request is denied
+// with ErrDeadlock. Because two requests may block concurrently (each
+// snapshotting the table before the other's edge is visible), waiters also
+// re-run detection periodically from the wait loop; eventually one member of
+// any cycle observes it.
+//
+// Edges are conservative: a waiter is considered to wait for every current
+// holder of its resource and every waiter queued ahead of it. Conservatism
+// can only cause a spurious victim (a safe transaction abort), never a
+// missed conflict.
+
+// waitsForGraph is adjacency: owner → owners it waits for.
+type waitsForGraph map[Owner]map[Owner]struct{}
+
+func (g waitsForGraph) addEdge(from, to Owner) {
+	if from == to {
+		return
+	}
+	m := g[from]
+	if m == nil {
+		m = make(map[Owner]struct{})
+		g[from] = m
+	}
+	m[to] = struct{}{}
+}
+
+// buildGraph snapshots the waits-for graph. Shard mutexes are taken one at a
+// time; the snapshot is therefore fuzzy, which is tolerable per the note
+// above.
+func (m *Manager) buildGraph() waitsForGraph {
+	g := make(waitsForGraph)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, h := range s.heads {
+			for qi, w := range h.queue {
+				for _, hold := range h.holders {
+					if w.convert && hold.owner == w.owner {
+						continue
+					}
+					if !Compatible(hold.mode, w.mode) {
+						g.addEdge(w.owner, hold.owner)
+					}
+				}
+				for _, ahead := range h.queue[:qi] {
+					g.addEdge(w.owner, ahead.owner)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return g
+}
+
+// detect reports whether owner is part of a waits-for cycle.
+func (m *Manager) detect(owner Owner) bool {
+	g := m.buildGraph()
+	if len(g[owner]) == 0 {
+		return false
+	}
+	seen := make(map[Owner]struct{})
+	var dfs func(o Owner) bool
+	dfs = func(o Owner) bool {
+		for next := range g[o] {
+			if next == owner {
+				return true
+			}
+			if _, ok := seen[next]; ok {
+				continue
+			}
+			seen[next] = struct{}{}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(owner)
+}

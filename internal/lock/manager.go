@@ -1,0 +1,392 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Owner identifies a lock owner, normally a transaction ID.
+type Owner uint64
+
+// Resource names a lockable resource; record locks use the record key.
+type Resource string
+
+// Errors returned by lock requests.
+var (
+	// ErrDenied is returned by a no-wait request that conflicts.
+	ErrDenied = errors.New("lock: denied (no-wait conflict)")
+	// ErrDeadlock is returned to a blocking requester chosen as the
+	// deadlock victim. The caller is expected to abort its transaction.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrNotHeld is returned when releasing a lock the owner does not hold.
+	ErrNotHeld = errors.New("lock: not held")
+)
+
+// Stats counts lock manager activity.
+type Stats struct {
+	Grants        uint64 // requests granted (including conversions)
+	ImmediateOK   uint64 // no-wait requests granted without conflict
+	NoWaitDenials uint64 // no-wait requests refused
+	Waits         uint64 // blocking requests that had to wait
+	Deadlocks     uint64 // requests aborted as deadlock victims
+}
+
+// holder records one owner's grant on a resource.
+type holder struct {
+	owner Owner
+	mode  Mode
+	count int // re-entrant grant count
+}
+
+// waiter is a blocked request parked on a resource queue.
+type waiter struct {
+	owner      Owner
+	mode       Mode
+	convert    bool // conversion of an existing grant
+	granted    bool
+	victimized bool
+	ready      chan struct{}
+}
+
+// head is the lock queue for one resource.
+type head struct {
+	holders []holder
+	queue   []*waiter // FIFO; conversions are scanned first at grant time
+}
+
+const shardCount = 64
+
+type shard struct {
+	mu    sync.Mutex
+	heads map[Resource]*head
+}
+
+// Manager is a sharded lock table with deadlock detection.
+// The zero value is not usable; call NewManager.
+type Manager struct {
+	shards [shardCount]shard
+
+	grants    atomic.Uint64
+	immediate atomic.Uint64
+	denials   atomic.Uint64
+	waits     atomic.Uint64
+	deadlocks atomic.Uint64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{}
+	for i := range m.shards {
+		m.shards[i].heads = make(map[Resource]*head)
+	}
+	return m
+}
+
+func (m *Manager) shardFor(res Resource) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(res))
+	return &m.shards[h.Sum32()%shardCount]
+}
+
+// findHolder returns the index of owner's grant in h, or -1.
+func (h *head) findHolder(owner Owner) int {
+	for i := range h.holders {
+		if h.holders[i].owner == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// compatibleWithHolders reports whether owner may be granted mode given the
+// current holders, ignoring owner's own grant (for conversions).
+func (h *head) compatibleWithHolders(owner Owner, mode Mode) bool {
+	for i := range h.holders {
+		if h.holders[i].owner == owner {
+			continue
+		}
+		if !Compatible(h.holders[i].mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires res in the given mode for owner, blocking until granted.
+// It returns ErrDeadlock if the request is chosen as a deadlock victim, in
+// which case no lock is acquired.
+func (m *Manager) Lock(owner Owner, res Resource, mode Mode) error {
+	return m.lock(owner, res, mode, true)
+}
+
+// TryLock acquires res in the given mode for owner without blocking ("no
+// wait" mode, §2.4). It returns ErrDenied on conflict.
+func (m *Manager) TryLock(owner Owner, res Resource, mode Mode) error {
+	return m.lock(owner, res, mode, false)
+}
+
+func (m *Manager) lock(owner Owner, res Resource, mode Mode, wait bool) error {
+	s := m.shardFor(res)
+	s.mu.Lock()
+	h := s.heads[res]
+	if h == nil {
+		h = &head{}
+		s.heads[res] = h
+	}
+
+	if i := h.findHolder(owner); i >= 0 {
+		held := h.holders[i].mode
+		if !stronger(mode, held) {
+			// Re-entrant request at equal or weaker strength.
+			h.holders[i].count++
+			s.mu.Unlock()
+			m.grants.Add(1)
+			m.immediate.Add(1)
+			return nil
+		}
+		// Conversion. A compatible conversion may jump the wait queue:
+		// conversions have priority (standard practice; it prevents a
+		// conversion from deadlocking behind waiters that are themselves
+		// blocked by the converter's current grant).
+		want := supremum(held, mode)
+		if h.compatibleWithHolders(owner, want) {
+			h.holders[i].mode = want
+			h.holders[i].count++
+			s.mu.Unlock()
+			m.grants.Add(1)
+			m.immediate.Add(1)
+			return nil
+		}
+		if !wait {
+			s.mu.Unlock()
+			m.denials.Add(1)
+			return ErrDenied
+		}
+		w := &waiter{owner: owner, mode: want, convert: true, ready: make(chan struct{})}
+		h.queue = append(h.queue, w)
+		s.mu.Unlock()
+		return m.wait(owner, res, w)
+	}
+
+	// Fresh request. Grant only if compatible with holders and no earlier
+	// waiter would be starved (first-come-first-served past the holders).
+	if len(h.queue) == 0 && h.compatibleWithHolders(owner, mode) {
+		h.holders = append(h.holders, holder{owner: owner, mode: mode, count: 1})
+		s.mu.Unlock()
+		m.grants.Add(1)
+		m.immediate.Add(1)
+		return nil
+	}
+	if !wait {
+		s.mu.Unlock()
+		m.denials.Add(1)
+		return ErrDenied
+	}
+	w := &waiter{owner: owner, mode: mode, ready: make(chan struct{})}
+	h.queue = append(h.queue, w)
+	s.mu.Unlock()
+	return m.wait(owner, res, w)
+}
+
+// wait parks the caller on w until granted or victimized. Detection is run
+// immediately and then re-run periodically so that cycles closed by a
+// concurrent blocker are eventually observed by someone in the cycle.
+func (m *Manager) wait(owner Owner, res Resource, w *waiter) error {
+	m.waits.Add(1)
+	timer := time.NewTimer(0) // first detection happens right away
+	defer timer.Stop()
+	for {
+		select {
+		case <-w.ready:
+			if w.victimized {
+				m.deadlocks.Add(1)
+				return ErrDeadlock
+			}
+			m.grants.Add(1)
+			return nil
+		case <-timer.C:
+		}
+		if m.detect(owner) {
+			// The requester closes the cycle: deny it rather than wait
+			// forever — unless it was granted while we were detecting.
+			s := m.shardFor(res)
+			s.mu.Lock()
+			select {
+			case <-w.ready:
+				s.mu.Unlock()
+				if w.victimized {
+					m.deadlocks.Add(1)
+					return ErrDeadlock
+				}
+				m.grants.Add(1)
+				return nil
+			default:
+			}
+			h := s.heads[res]
+			if h != nil {
+				h.removeWaiter(w)
+				m.promoteLocked(h)
+				if h.empty() {
+					delete(s.heads, res)
+				}
+			}
+			s.mu.Unlock()
+			m.deadlocks.Add(1)
+			return ErrDeadlock
+		}
+		timer.Reset(deadlockRecheck)
+	}
+}
+
+// deadlockRecheck is how often a blocked request re-runs deadlock detection.
+const deadlockRecheck = 10 * time.Millisecond
+
+func (h *head) removeWaiter(w *waiter) {
+	for i, q := range h.queue {
+		if q == w {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *head) empty() bool { return len(h.holders) == 0 && len(h.queue) == 0 }
+
+// promoteLocked grants queued requests that are now compatible. Conversions
+// are considered first, then the FIFO prefix of fresh requests. Caller holds
+// the shard mutex.
+func (h *head) promote() (granted []*waiter) {
+	// Conversions first.
+	for i := 0; i < len(h.queue); {
+		w := h.queue[i]
+		if !w.convert {
+			i++
+			continue
+		}
+		if h.compatibleWithHolders(w.owner, w.mode) {
+			j := h.findHolder(w.owner)
+			if j >= 0 {
+				h.holders[j].mode = w.mode
+				h.holders[j].count++
+			} else {
+				// Holder released everything while the conversion waited;
+				// treat as a fresh grant.
+				h.holders = append(h.holders, holder{owner: w.owner, mode: w.mode, count: 1})
+			}
+			w.granted = true
+			granted = append(granted, w)
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			continue
+		}
+		i++
+	}
+	// Then the FIFO prefix of fresh requests.
+	for len(h.queue) > 0 {
+		w := h.queue[0]
+		if w.convert || !h.compatibleWithHolders(w.owner, w.mode) {
+			break
+		}
+		if j := h.findHolder(w.owner); j >= 0 {
+			h.holders[j].mode = supremum(h.holders[j].mode, w.mode)
+			h.holders[j].count++
+		} else {
+			h.holders = append(h.holders, holder{owner: w.owner, mode: w.mode, count: 1})
+		}
+		w.granted = true
+		granted = append(granted, w)
+		h.queue = h.queue[1:]
+	}
+	return granted
+}
+
+// promoteLocked runs promote and wakes the granted waiters.
+func (m *Manager) promoteLocked(h *head) {
+	for _, w := range h.promote() {
+		close(w.ready)
+	}
+}
+
+// Unlock releases one grant of owner's lock on res. Locks are re-entrant: the
+// lock is fully released only when the grant count reaches zero.
+func (m *Manager) Unlock(owner Owner, res Resource) error {
+	s := m.shardFor(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.heads[res]
+	if h == nil {
+		return fmt.Errorf("%w: owner %d, resource %q", ErrNotHeld, owner, res)
+	}
+	i := h.findHolder(owner)
+	if i < 0 {
+		return fmt.Errorf("%w: owner %d, resource %q", ErrNotHeld, owner, res)
+	}
+	h.holders[i].count--
+	if h.holders[i].count > 0 {
+		return nil
+	}
+	h.holders = append(h.holders[:i], h.holders[i+1:]...)
+	m.promoteLocked(h)
+	if h.empty() {
+		delete(s.heads, res)
+	}
+	return nil
+}
+
+// ReleaseAll releases every lock owner holds and cancels its waiting
+// requests. It is called at transaction commit or abort.
+func (m *Manager) ReleaseAll(owner Owner) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for res, h := range s.heads {
+			if j := h.findHolder(owner); j >= 0 {
+				h.holders = append(h.holders[:j], h.holders[j+1:]...)
+			}
+			for k := 0; k < len(h.queue); {
+				if h.queue[k].owner == owner {
+					w := h.queue[k]
+					h.queue = append(h.queue[:k], h.queue[k+1:]...)
+					w.victimized = true
+					close(w.ready)
+					continue
+				}
+				k++
+			}
+			m.promoteLocked(h)
+			if h.empty() {
+				delete(s.heads, res)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// HeldMode returns the mode owner currently holds on res, or 0 if none.
+func (m *Manager) HeldMode(owner Owner, res Resource) Mode {
+	s := m.shardFor(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.heads[res]
+	if h == nil {
+		return 0
+	}
+	if i := h.findHolder(owner); i >= 0 {
+		return h.holders[i].mode
+	}
+	return 0
+}
+
+// Snapshot returns current lock manager statistics.
+func (m *Manager) Snapshot() Stats {
+	return Stats{
+		Grants:        m.grants.Load(),
+		ImmediateOK:   m.immediate.Load(),
+		NoWaitDenials: m.denials.Load(),
+		Waits:         m.waits.Load(),
+		Deadlocks:     m.deadlocks.Load(),
+	}
+}

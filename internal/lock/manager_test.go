@@ -1,0 +1,418 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{Shared: "S", Update: "U", Exclusive: "X", Mode(0): "?"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{Shared, Shared, true}, {Shared, Update, true}, {Shared, Exclusive, false},
+		{Update, Shared, true}, {Update, Update, false}, {Update, Exclusive, false},
+		{Exclusive, Shared, false}, {Exclusive, Update, false}, {Exclusive, Exclusive, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSharedGrants(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryLock(3, "k", Exclusive); !errors.Is(err, ErrDenied) {
+		t.Fatalf("TryLock X over two S: %v, want ErrDenied", err)
+	}
+	if err := m.Unlock(1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(2, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryLock(3, "k", Exclusive); err != nil {
+		t.Fatalf("TryLock X on free resource: %v", err)
+	}
+}
+
+func TestReentrant(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(1, "k", Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.Unlock(1, "k"); err != nil {
+			t.Fatal(err)
+		}
+		if m.HeldMode(1, "k") != Exclusive {
+			t.Fatalf("lock dropped after partial unlock %d", i)
+		}
+	}
+	if err := m.Unlock(1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(1, "k") != 0 {
+		t.Fatal("lock still held after final unlock")
+	}
+}
+
+func TestWeakerRequestKeepsStrongerMode(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(1, "k") != Exclusive {
+		t.Fatal("mode weakened by re-entrant shared request")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestConversion(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole holder converts immediately.
+	if err := m.TryLock(1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(1, "k") != Exclusive {
+		t.Fatalf("mode = %v after conversion", m.HeldMode(1, "k"))
+	}
+	m.ReleaseAll(1)
+
+	// Conversion blocked by a second shared holder.
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryLock(1, "k", Exclusive); !errors.Is(err, ErrDenied) {
+		t.Fatalf("conversion with second holder: %v, want ErrDenied", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "k", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("blocking conversion: %v", err)
+	}
+	if m.HeldMode(1, "k") != Exclusive {
+		t.Fatal("conversion did not upgrade mode")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestNoWaitDenied(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryLock(2, "k", Shared); !errors.Is(err, ErrDenied) {
+		t.Fatalf("TryLock: %v, want ErrDenied", err)
+	}
+	s := m.Snapshot()
+	if s.NoWaitDenials != 1 {
+		t.Fatalf("NoWaitDenials = %d, want 1", s.NoWaitDenials)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestBlockingGrantAfterRelease(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, "k", Shared) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-got:
+		t.Fatalf("blocked request returned early: %v", err)
+	default:
+	}
+	if err := m.Unlock(1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked request: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked request never granted")
+	}
+	if m.HeldMode(2, "k") != Shared {
+		t.Fatal("grant not recorded")
+	}
+}
+
+func TestFIFONoStarvation(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	xDone := make(chan struct{})
+	go func() {
+		if err := m.Lock(2, "k", Exclusive); err != nil {
+			t.Error(err)
+		}
+		close(xDone)
+	}()
+	// Wait for the X request to queue, then a fresh S must queue behind it.
+	time.Sleep(20 * time.Millisecond)
+	if err := m.TryLock(3, "k", Shared); !errors.Is(err, ErrDenied) {
+		t.Fatalf("fresh S jumped a queued X: %v", err)
+	}
+	m.ReleaseAll(1)
+	<-xDone
+	m.ReleaseAll(2)
+}
+
+func TestUnlockNotHeld(t *testing.T) {
+	m := NewManager()
+	if err := m.Unlock(1, "nope"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("Unlock on free resource: %v, want ErrNotHeld", err)
+	}
+	if err := m.Lock(2, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(1, "k"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("Unlock by non-holder: %v, want ErrNotHeld", err)
+	}
+	m.ReleaseAll(2)
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var granted atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		res := Resource("a")
+		if i%2 == 1 {
+			res = "b"
+		}
+		go func(o Owner, r Resource) {
+			defer wg.Done()
+			if err := m.Lock(o, r, Shared); err == nil {
+				granted.Add(1)
+			}
+		}(Owner(10+i), res)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if granted.Load() != 4 {
+		t.Fatalf("granted = %d, want 4", granted.Load())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, "b", Exclusive) }()
+	go func() { errs <- m.Lock(2, "a", Exclusive) }()
+
+	var deadlocks, grants int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, ErrDeadlock):
+				deadlocks++
+				// Victim aborts: release everything so the survivor runs.
+				m.ReleaseAll(1)
+				m.ReleaseAll(2)
+			case err == nil:
+				grants++
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock never resolved")
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatalf("no deadlock victim (deadlocks=%d grants=%d)", deadlocks, grants)
+	}
+	if s := m.Snapshot(); s.Deadlocks == 0 {
+		t.Fatalf("stats did not record deadlock: %+v", s)
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := NewManager()
+	for i := 1; i <= 3; i++ {
+		if err := m.Lock(Owner(i), Resource(fmt.Sprintf("r%d", i)), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 3)
+	for i := 1; i <= 3; i++ {
+		next := i%3 + 1
+		go func(o Owner, r Resource) { errs <- m.Lock(o, r, Exclusive) }(Owner(i), Resource(fmt.Sprintf("r%d", next)))
+	}
+	victims := 0
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				victims++
+				// Abort every owner so the remaining waiters drain; this is
+				// what the transaction layer would do.
+				for o := 1; o <= 3; o++ {
+					m.ReleaseAll(Owner(o))
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("three-way deadlock never resolved")
+		}
+	}
+	if victims == 0 {
+		t.Fatal("no victim in three-way deadlock")
+	}
+}
+
+func TestConversionDeadlock(t *testing.T) {
+	// Two S holders both converting to X is the classic conversion deadlock;
+	// at least one must be victimized.
+	m := NewManager()
+	if err := m.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, "k", Exclusive) }()
+	go func() { errs <- m.Lock(2, "k", Exclusive) }()
+	resolved := false
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				resolved = true
+				m.ReleaseAll(1)
+				m.ReleaseAll(2)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("conversion deadlock never resolved")
+		}
+	}
+	if !resolved {
+		t.Fatal("conversion deadlock produced no victim")
+	}
+}
+
+func TestHeldModeUnknown(t *testing.T) {
+	m := NewManager()
+	if got := m.HeldMode(9, "missing"); got != 0 {
+		t.Fatalf("HeldMode on free resource = %v, want 0", got)
+	}
+}
+
+// TestQuickSupremum property-tests supremum and stronger.
+func TestQuickSupremum(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Mode(a%3+1), Mode(b%3+1)
+		sup := supremum(x, y)
+		return !stronger(x, sup) && !stronger(y, sup) && (sup == x || sup == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressNoLostGrants runs many owners over few resources with random
+// lock/unlock traffic and verifies exclusivity: an X holder observed via
+// HeldMode is the sole holder.
+func TestStressNoLostGrants(t *testing.T) {
+	m := NewManager()
+	resources := []Resource{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	var xHolders [4]atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(owner Owner, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				ri := rng.Intn(len(resources))
+				res := resources[ri]
+				mode := Shared
+				if rng.Intn(3) == 0 {
+					mode = Exclusive
+				}
+				var err error
+				if rng.Intn(2) == 0 {
+					err = m.TryLock(owner, res, mode)
+				} else {
+					err = m.Lock(owner, res, mode)
+				}
+				if err != nil {
+					if errors.Is(err, ErrDeadlock) {
+						m.ReleaseAll(owner)
+					}
+					continue
+				}
+				if mode == Exclusive {
+					if xHolders[ri].Add(1) > 1 {
+						violations.Add(1)
+					}
+					xHolders[ri].Add(-1)
+				}
+				if err := m.Unlock(owner, res); err != nil {
+					t.Errorf("unlock: %v", err)
+				}
+			}
+			m.ReleaseAll(owner)
+		}(Owner(g+1), int64(g*7+1))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d exclusivity violations", v)
+	}
+}

@@ -1,0 +1,69 @@
+// Package lock implements the transactional lock manager the paper's method
+// interacts with (ICDE 2004 §2.4).
+//
+// The B-link tree acquires record locks in "no wait" mode while holding node
+// latches; if the lock is denied the caller releases its latch, re-requests
+// the lock in blocking mode, and then re-latches via the tree's re-latch
+// procedure. The lock manager therefore supports:
+//
+//   - Shared (S), Update (U) and Exclusive (X) modes with conversion,
+//   - conditional (no-wait) and unconditional (blocking) requests,
+//   - deadlock detection on the waits-for graph with victim selection,
+//   - release of a single lock or of everything a transaction holds.
+//
+// Unlike latches, lock requests are tracked per owner and are re-entrant.
+package lock
+
+// Mode is a transactional lock mode.
+type Mode uint8
+
+// Lock modes, ordered by strength: S < U < X.
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota + 1
+	// Update allows concurrent readers but only one prospective updater.
+	Update
+	// Exclusive excludes all other owners.
+	Exclusive
+)
+
+// String returns the conventional single-letter name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Update:
+		return "U"
+	case Exclusive:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// Compatible reports whether mode b may be granted to a different owner
+// while mode a is held. The matrix matches Gray & Reuter: S-S and S-U are
+// compatible, U-U and anything-X are not.
+func Compatible(a, b Mode) bool {
+	switch a {
+	case Shared:
+		return b == Shared || b == Update
+	case Update:
+		return b == Shared
+	case Exclusive:
+		return false
+	default:
+		return true
+	}
+}
+
+// stronger reports whether a is strictly stronger than b.
+func stronger(a, b Mode) bool { return a > b }
+
+// supremum returns the weakest mode at least as strong as both a and b.
+func supremum(a, b Mode) Mode {
+	if a > b {
+		return a
+	}
+	return b
+}

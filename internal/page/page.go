@@ -1,0 +1,359 @@
+// Package page defines the serialized form of B-link-tree nodes.
+//
+// Following the paper (§2.1), nodes are Pi-tree style: every node carries an
+// explicit key-space description — a low fence key (inclusive) and a high
+// fence key (exclusive) — and the side pointer together with the high fence
+// key forms a complete index term for the right sibling. That is what lets a
+// side traversal re-discover a missing index term with no extra access
+// (§2.3): the traverser already has both the sibling's address and its key
+// space.
+//
+// Parent-of-leaf nodes additionally persist their data-delete-state counter
+// D_D (§4.1.2): keeping D_D in the node means it survives cache eviction, so
+// fewer index postings are aborted after the parent is re-fetched.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageID identifies a page in the underlying store. Zero is never a valid
+// page: it doubles as the nil pointer.
+type PageID uint64
+
+// InvalidPage is the nil page pointer.
+const InvalidPage PageID = 0
+
+// Kind discriminates leaf (data) nodes from index (internal) nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	// Leaf nodes hold user records. The paper calls these data nodes.
+	Leaf Kind = iota + 1
+	// Index nodes hold separator keys and child pointers.
+	Index
+)
+
+// String returns "leaf" or "index".
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case Index:
+		return "index"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Content is the serializable state of one node. It is deliberately free of
+// any synchronization state: latches, pins and to-do bookkeeping are volatile
+// and live in the in-memory node wrapper (internal/core).
+type Content struct {
+	ID    PageID
+	Kind  Kind
+	Level uint8 // 0 for leaves, parent-of-leaf is 1
+	LSN   uint64
+
+	// Right is the side pointer; InvalidPage when this node is the
+	// rightmost at its level. The side link's key-space description is
+	// High: the right sibling covers [High, <right sibling's High>).
+	Right PageID
+
+	// DD is the data-delete-state counter D_D. Meaningful only for
+	// parent-of-leaf nodes (Level == 1); persisted so that it survives
+	// cache eviction (§4.1.2 reason 1).
+	DD uint64
+
+	// Epoch is the node's incarnation number, assigned at allocation and
+	// never changed. Remembered node references carry (ID, Epoch) pairs;
+	// a structure modification that finds a different epoch under a
+	// remembered ID knows the ID was deallocated and recycled, and aborts.
+	// This closes a narrow ABA window left by the delete-state counters
+	// alone (a victim observed via a cousin's side pointer after the D_X
+	// increment); see DESIGN.md.
+	Epoch uint64
+
+	// Low is the inclusive low fence; empty means -inf for the leftmost
+	// node of a level. High is the exclusive high fence; nil means +inf.
+	Low  []byte
+	High []byte
+
+	// Keys are the record keys (leaf) or separator keys (index), sorted.
+	Keys [][]byte
+	// Vals holds the record values; used only when Kind == Leaf.
+	Vals [][]byte
+	// Children holds child pointers; used only when Kind == Index.
+	// Children[i] covers [Keys[i], Keys[i+1]) with Children[len-1]
+	// covering [Keys[len-1], High). An index node with n keys has n
+	// children; the node's Low equals Keys[0].
+	Children []PageID
+}
+
+// Serialization layout (little endian):
+//
+//	offset  size  field
+//	0       4     magic "BLNK"
+//	4       4     crc32 (castagnoli) of bytes [8:used]
+//	8       1     kind
+//	9       1     level
+//	10      2     flags (bit 0: High present)
+//	12      8     page id
+//	20      8     LSN
+//	28      8     right sibling
+//	36      8     D_D
+//	44      8     epoch
+//	52      2     key count
+//	54      2     low fence length
+//	56      2     high fence length
+//	58      ...   low fence, high fence, then per entry:
+//	               u16 keyLen, key, then (leaf) u16 valLen, val
+//	                                   or (index) u64 child
+const (
+	headerSize  = 58
+	magic       = "BLNK"
+	flagHasHigh = 1 << 0
+	maxEntryLen = 0xFFFF
+	offCRC      = 4
+	offKind     = 8
+	offLevel    = 9
+	offFlags    = 10
+	offID       = 12
+	offLSN      = 20
+	offRight    = 28
+	offDD       = 36
+	offEpoch    = 44
+	offKeyCount = 52
+	offLowLen   = 54
+	offHighLen  = 56
+	offPayload  = headerSize
+	crcStart    = offKind
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by Marshal and Unmarshal.
+var (
+	// ErrTooLarge means the content does not fit in the page size.
+	ErrTooLarge = errors.New("page: content exceeds page size")
+	// ErrCorrupt means the buffer fails structural or checksum validation.
+	ErrCorrupt = errors.New("page: corrupt page image")
+)
+
+// Size returns the number of bytes c occupies when marshaled. The tree uses
+// this for occupancy decisions (split when full, consolidate when
+// under-utilized).
+func (c *Content) Size() int {
+	n := headerSize + len(c.Low) + len(c.High)
+	for i, k := range c.Keys {
+		n += 2 + len(k)
+		if c.Kind == Leaf {
+			n += 2 + len(c.Vals[i])
+		} else {
+			n += 8
+		}
+	}
+	return n
+}
+
+// EntrySize returns the marshaled size of one entry with the given key and
+// value lengths (vlen is ignored for index nodes, which store a fixed-size
+// child pointer).
+func EntrySize(kind Kind, klen, vlen int) int {
+	if kind == Leaf {
+		return 2 + klen + 2 + vlen
+	}
+	return 2 + klen + 8
+}
+
+// Marshal serializes c into a buffer of exactly pageSize bytes.
+func Marshal(c *Content, pageSize int) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	need := c.Size()
+	if need > pageSize {
+		return nil, fmt.Errorf("%w: need %d, page %d", ErrTooLarge, need, pageSize)
+	}
+	buf := make([]byte, pageSize)
+	copy(buf[0:4], magic)
+	buf[offKind] = byte(c.Kind)
+	buf[offLevel] = c.Level
+	var flags uint16
+	if c.High != nil {
+		flags |= flagHasHigh
+	}
+	binary.LittleEndian.PutUint16(buf[offFlags:], flags)
+	binary.LittleEndian.PutUint64(buf[offID:], uint64(c.ID))
+	binary.LittleEndian.PutUint64(buf[offLSN:], c.LSN)
+	binary.LittleEndian.PutUint64(buf[offRight:], uint64(c.Right))
+	binary.LittleEndian.PutUint64(buf[offDD:], c.DD)
+	binary.LittleEndian.PutUint64(buf[offEpoch:], c.Epoch)
+	binary.LittleEndian.PutUint16(buf[offKeyCount:], uint16(len(c.Keys)))
+	binary.LittleEndian.PutUint16(buf[offLowLen:], uint16(len(c.Low)))
+	binary.LittleEndian.PutUint16(buf[offHighLen:], uint16(len(c.High)))
+
+	p := offPayload
+	p += copy(buf[p:], c.Low)
+	p += copy(buf[p:], c.High)
+	for i, k := range c.Keys {
+		binary.LittleEndian.PutUint16(buf[p:], uint16(len(k)))
+		p += 2
+		p += copy(buf[p:], k)
+		if c.Kind == Leaf {
+			v := c.Vals[i]
+			binary.LittleEndian.PutUint16(buf[p:], uint16(len(v)))
+			p += 2
+			p += copy(buf[p:], v)
+		} else {
+			binary.LittleEndian.PutUint64(buf[p:], uint64(c.Children[i]))
+			p += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[offCRC:], crc32.Checksum(buf[crcStart:p], castagnoli))
+	return buf, nil
+}
+
+// Unmarshal parses a page image produced by Marshal. The returned Content
+// does not alias buf.
+func Unmarshal(buf []byte) (*Content, error) {
+	if len(buf) < headerSize || string(buf[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	c := &Content{
+		Kind:  Kind(buf[offKind]),
+		Level: buf[offLevel],
+		ID:    PageID(binary.LittleEndian.Uint64(buf[offID:])),
+		LSN:   binary.LittleEndian.Uint64(buf[offLSN:]),
+		Right: PageID(binary.LittleEndian.Uint64(buf[offRight:])),
+		DD:    binary.LittleEndian.Uint64(buf[offDD:]),
+		Epoch: binary.LittleEndian.Uint64(buf[offEpoch:]),
+	}
+	if c.Kind != Leaf && c.Kind != Index {
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, c.Kind)
+	}
+	flags := binary.LittleEndian.Uint16(buf[offFlags:])
+	nkeys := int(binary.LittleEndian.Uint16(buf[offKeyCount:]))
+	lowLen := int(binary.LittleEndian.Uint16(buf[offLowLen:]))
+	highLen := int(binary.LittleEndian.Uint16(buf[offHighLen:]))
+
+	p := offPayload
+	take := func(n int) ([]byte, error) {
+		if p+n > len(buf) {
+			return nil, fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, p)
+		}
+		b := make([]byte, n)
+		copy(b, buf[p:p+n])
+		p += n
+		return b, nil
+	}
+	var err error
+	if c.Low, err = take(lowLen); err != nil {
+		return nil, err
+	}
+	if flags&flagHasHigh != 0 {
+		if c.High, err = take(highLen); err != nil {
+			return nil, err
+		}
+	} else if highLen != 0 {
+		return nil, fmt.Errorf("%w: high length without flag", ErrCorrupt)
+	}
+	c.Keys = make([][]byte, 0, nkeys)
+	if c.Kind == Leaf {
+		c.Vals = make([][]byte, 0, nkeys)
+	} else {
+		c.Children = make([]PageID, 0, nkeys)
+	}
+	for i := 0; i < nkeys; i++ {
+		if p+2 > len(buf) {
+			return nil, fmt.Errorf("%w: truncated key length", ErrCorrupt)
+		}
+		klen := int(binary.LittleEndian.Uint16(buf[p:]))
+		p += 2
+		k, err := take(klen)
+		if err != nil {
+			return nil, err
+		}
+		c.Keys = append(c.Keys, k)
+		if c.Kind == Leaf {
+			if p+2 > len(buf) {
+				return nil, fmt.Errorf("%w: truncated value length", ErrCorrupt)
+			}
+			vlen := int(binary.LittleEndian.Uint16(buf[p:]))
+			p += 2
+			v, err := take(vlen)
+			if err != nil {
+				return nil, err
+			}
+			c.Vals = append(c.Vals, v)
+		} else {
+			if p+8 > len(buf) {
+				return nil, fmt.Errorf("%w: truncated child pointer", ErrCorrupt)
+			}
+			c.Children = append(c.Children, PageID(binary.LittleEndian.Uint64(buf[p:])))
+			p += 8
+		}
+	}
+	want := binary.LittleEndian.Uint32(buf[offCRC:])
+	if got := crc32.Checksum(buf[crcStart:p], castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return c, nil
+}
+
+// validate checks structural consistency before marshaling.
+func (c *Content) validate() error {
+	if c.Kind != Leaf && c.Kind != Index {
+		return fmt.Errorf("page: invalid kind %d", c.Kind)
+	}
+	if c.Kind == Leaf && len(c.Vals) != len(c.Keys) {
+		return fmt.Errorf("page: leaf with %d keys, %d vals", len(c.Keys), len(c.Vals))
+	}
+	if c.Kind == Index && len(c.Children) != len(c.Keys) {
+		return fmt.Errorf("page: index with %d keys, %d children", len(c.Keys), len(c.Children))
+	}
+	if len(c.Keys) > maxEntryLen {
+		return fmt.Errorf("page: too many keys (%d)", len(c.Keys))
+	}
+	if len(c.Low) > maxEntryLen || len(c.High) > maxEntryLen {
+		return fmt.Errorf("page: fence key too long")
+	}
+	for i, k := range c.Keys {
+		if len(k) > maxEntryLen {
+			return fmt.Errorf("page: key %d too long (%d)", i, len(k))
+		}
+		if c.Kind == Leaf && len(c.Vals[i]) > maxEntryLen {
+			return fmt.Errorf("page: value %d too long (%d)", i, len(c.Vals[i]))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of c.
+func (c *Content) Clone() *Content {
+	d := &Content{
+		ID: c.ID, Kind: c.Kind, Level: c.Level, LSN: c.LSN,
+		Right: c.Right, DD: c.DD, Epoch: c.Epoch,
+	}
+	d.Low = append([]byte(nil), c.Low...)
+	if c.High != nil {
+		d.High = append([]byte(nil), c.High...)
+	}
+	d.Keys = make([][]byte, len(c.Keys))
+	for i, k := range c.Keys {
+		d.Keys[i] = append([]byte(nil), k...)
+	}
+	if c.Kind == Leaf {
+		d.Vals = make([][]byte, len(c.Vals))
+		for i, v := range c.Vals {
+			d.Vals[i] = append([]byte(nil), v...)
+		}
+	} else {
+		d.Children = append([]PageID(nil), c.Children...)
+	}
+	return d
+}

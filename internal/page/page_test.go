@@ -1,0 +1,341 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func leafContent() *Content {
+	return &Content{
+		ID: 7, Kind: Leaf, Level: 0, LSN: 42, Right: 9, DD: 0,
+		Low:  []byte("apple"),
+		High: []byte("mango"),
+		Keys: [][]byte{[]byte("apple"), []byte("banana"), []byte("cherry")},
+		Vals: [][]byte{[]byte("1"), []byte("2"), []byte("3")},
+	}
+}
+
+func indexContent() *Content {
+	return &Content{
+		ID: 3, Kind: Index, Level: 1, LSN: 17, Right: 0, DD: 12,
+		Low:      []byte{},
+		High:     nil, // +inf
+		Keys:     [][]byte{{}, []byte("k1"), []byte("k2")},
+		Children: []PageID{10, 11, 12},
+	}
+}
+
+func TestRoundTripLeaf(t *testing.T) {
+	c := leafContent()
+	buf, err := Marshal(c, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 4096 {
+		t.Fatalf("len(buf) = %d, want 4096", len(buf))
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestRoundTripIndex(t *testing.T) {
+	c := indexContent()
+	buf, err := Marshal(c, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.High != nil {
+		t.Fatalf("High = %q, want nil (+inf)", got.High)
+	}
+	if !reflect.DeepEqual(c.Children, got.Children) {
+		t.Fatalf("children mismatch: %v vs %v", got.Children, c.Children)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestEmptyHighVsNilHigh(t *testing.T) {
+	// High == []byte{} (a real empty fence) must be distinguishable from
+	// High == nil (+inf) across a round trip.
+	c := leafContent()
+	c.High = []byte{}
+	buf, err := Marshal(c, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.High == nil {
+		t.Fatal("empty High decoded as nil")
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	for _, c := range []*Content{leafContent(), indexContent()} {
+		need := c.Size()
+		// Marshal into exactly Size bytes must succeed...
+		if _, err := Marshal(c, need); err != nil {
+			t.Fatalf("Marshal at exact size %d: %v", need, err)
+		}
+		// ...and into one byte less must fail.
+		if _, err := Marshal(c, need-1); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("Marshal at size-1: %v, want ErrTooLarge", err)
+		}
+	}
+}
+
+func TestEntrySize(t *testing.T) {
+	if got := EntrySize(Leaf, 5, 7); got != 2+5+2+7 {
+		t.Fatalf("EntrySize(Leaf,5,7) = %d", got)
+	}
+	if got := EntrySize(Index, 5, 999); got != 2+5+8 {
+		t.Fatalf("EntrySize(Index,5,_) = %d", got)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	buf, err := Marshal(leafContent(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[headerSize+3] ^= 0xFF
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Unmarshal of corrupted page: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf, _ := Marshal(leafContent(), 4096)
+	buf[0] = 'X'
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedBuffer(t *testing.T) {
+	buf, _ := Marshal(leafContent(), 4096)
+	for _, n := range []int{0, 3, headerSize - 1, headerSize + 2} {
+		if _, err := Unmarshal(buf[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Unmarshal(buf[:%d]): %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestValidateMismatchedSlices(t *testing.T) {
+	c := leafContent()
+	c.Vals = c.Vals[:2]
+	if _, err := Marshal(c, 4096); err == nil {
+		t.Fatal("leaf with mismatched vals marshaled")
+	}
+	d := indexContent()
+	d.Children = d.Children[:1]
+	if _, err := Marshal(d, 4096); err == nil {
+		t.Fatal("index with mismatched children marshaled")
+	}
+	e := leafContent()
+	e.Kind = Kind(9)
+	if _, err := Marshal(e, 4096); err == nil {
+		t.Fatal("invalid kind marshaled")
+	}
+}
+
+func TestUnmarshalRejectsUnknownKind(t *testing.T) {
+	buf, _ := Marshal(leafContent(), 4096)
+	buf[offKind] = 99
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown kind: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := leafContent()
+	d := c.Clone()
+	d.Keys[0][0] = 'z'
+	d.Vals[0][0] = 'z'
+	d.Low[0] = 'z'
+	if c.Keys[0][0] == 'z' || c.Vals[0][0] == 'z' || c.Low[0] == 'z' {
+		t.Fatal("Clone shares backing arrays")
+	}
+	i := indexContent()
+	j := i.Clone()
+	j.Children[0] = 999
+	if i.Children[0] == 999 {
+		t.Fatal("Clone shares children slice")
+	}
+	if j.High != nil {
+		t.Fatal("Clone invented a high fence")
+	}
+}
+
+func TestUnmarshalDoesNotAliasBuffer(t *testing.T) {
+	buf, _ := Marshal(leafContent(), 4096)
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	if !bytes.Equal(got.Keys[0], []byte("apple")) {
+		t.Fatal("Unmarshal result aliases input buffer")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Leaf.String() != "leaf" || Index.String() != "index" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatalf("Kind(9).String() = %q", Kind(9).String())
+	}
+}
+
+// randomContent builds a structurally valid random Content.
+func randomContent(rng *rand.Rand) *Content {
+	c := &Content{
+		ID:    PageID(rng.Uint64()%1000 + 1),
+		LSN:   rng.Uint64() % 100000,
+		Right: PageID(rng.Uint64() % 50),
+		DD:    rng.Uint64() % 1000,
+		Epoch: rng.Uint64() % 100000,
+		Level: uint8(rng.Intn(4)),
+	}
+	if rng.Intn(2) == 0 {
+		c.Kind = Leaf
+		c.Level = 0
+	} else {
+		c.Kind = Index
+		c.Level = uint8(rng.Intn(3) + 1)
+	}
+	randKey := func(maxLen int) []byte {
+		b := make([]byte, rng.Intn(maxLen))
+		rng.Read(b)
+		return b
+	}
+	c.Low = randKey(20)
+	if rng.Intn(3) > 0 {
+		c.High = randKey(20)
+	}
+	n := rng.Intn(30)
+	for i := 0; i < n; i++ {
+		c.Keys = append(c.Keys, randKey(32))
+		if c.Kind == Leaf {
+			c.Vals = append(c.Vals, randKey(64))
+		} else {
+			c.Children = append(c.Children, PageID(rng.Uint64()%10000+1))
+		}
+	}
+	if c.Kind == Leaf {
+		if c.Vals == nil {
+			c.Vals = [][]byte{}
+		}
+	} else if c.Children == nil {
+		c.Children = []PageID{}
+	}
+	if c.Keys == nil {
+		c.Keys = [][]byte{}
+	}
+	return c
+}
+
+// TestQuickRoundTrip property-tests Marshal/Unmarshal over random contents.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomContent(rng)
+		size := c.Size()
+		buf, err := Marshal(c, size+rng.Intn(256))
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(c, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorruptionDetected flips one random byte in the payload and
+// verifies the checksum catches it (header magic corruption is caught by the
+// magic check instead).
+func TestQuickCorruptionDetected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomContent(rng)
+		buf, err := Marshal(c, c.Size())
+		if err != nil {
+			return false
+		}
+		if len(buf) <= crcStart {
+			return true
+		}
+		pos := crcStart + rng.Intn(len(buf)-crcStart)
+		buf[pos] ^= byte(1 + rng.Intn(255))
+		_, err = Unmarshal(buf)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalLeaf(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := &Content{ID: 1, Kind: Leaf, Low: []byte("a"), High: []byte("z")}
+	for i := 0; i < 100; i++ {
+		c.Keys = append(c.Keys, []byte(fmt.Sprintf("key-%06d", i)))
+		v := make([]byte, 16)
+		rng.Read(v)
+		c.Vals = append(c.Vals, v)
+	}
+	size := c.Size()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(c, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalLeaf(b *testing.B) {
+	c := &Content{ID: 1, Kind: Leaf, Low: []byte("a"), High: []byte("z")}
+	for i := 0; i < 100; i++ {
+		c.Keys = append(c.Keys, []byte(fmt.Sprintf("key-%06d", i)))
+		c.Vals = append(c.Vals, bytes.Repeat([]byte{byte(i)}, 16))
+	}
+	buf, err := Marshal(c, c.Size())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

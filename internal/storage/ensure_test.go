@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"blinktree/internal/page"
+)
+
+func TestEnsureAllocated(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if s.PageSize() != 256 {
+				t.Fatalf("PageSize = %d", s.PageSize())
+			}
+			// Ensure a page far past the frontier: intermediate IDs become
+			// free, the target is allocated and zeroed.
+			if err := s.EnsureAllocated(5); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Allocated(5) {
+				t.Fatal("page 5 not allocated")
+			}
+			buf, err := s.Read(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, make([]byte, 256)) {
+				t.Fatal("ensured page not zeroed")
+			}
+			// Idempotent: ensuring again must not clobber contents.
+			payload := bytes.Repeat([]byte{7}, 256)
+			if err := s.Write(5, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnsureAllocated(5); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := s.Read(5)
+			if !bytes.Equal(got, payload) {
+				t.Fatal("EnsureAllocated clobbered an allocated page")
+			}
+			// The skipped IDs (1..4) are reusable by Allocate.
+			seen := map[page.PageID]bool{}
+			for i := 0; i < 4; i++ {
+				id, err := s.Allocate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id >= 5 {
+					t.Fatalf("Allocate returned %d before recycling the gap", id)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate id %d", id)
+				}
+				seen[id] = true
+			}
+			// Ensure an ID that sits on the free list: it must come off it.
+			if err := s.Deallocate(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnsureAllocated(2); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Allocated(2) {
+				t.Fatal("freed page not re-ensured")
+			}
+			// Sync succeeds on a healthy store.
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFileStoreEnsurePersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	s, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnsureAllocated(9); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{3}, 256)
+	s.Write(9, payload)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Allocated(9) {
+		t.Fatal("ensured page lost across reopen")
+	}
+	got, err := s2.Read(9)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("contents lost: %v", err)
+	}
+}

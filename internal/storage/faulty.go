@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"blinktree/internal/page"
+)
+
+// ErrInjected is the error surfaced by a FaultyStore's injected failures.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyStore wraps a Store and injects failures on demand. It exists for
+// fault-injection tests: the tree must surface clean errors — and remain
+// structurally intact — when the storage layer misbehaves.
+type FaultyStore struct {
+	Inner Store
+
+	failAllocs atomic.Int64 // fail the next N Allocate calls
+	failWrites atomic.Bool  // fail all Write calls while set
+	failReads  atomic.Bool  // fail all Read calls while set
+}
+
+// NewFaultyStore wraps inner.
+func NewFaultyStore(inner Store) *FaultyStore { return &FaultyStore{Inner: inner} }
+
+// FailNextAllocs makes the next n Allocate calls fail.
+func (s *FaultyStore) FailNextAllocs(n int) { s.failAllocs.Store(int64(n)) }
+
+// SetFailWrites toggles Write failures.
+func (s *FaultyStore) SetFailWrites(v bool) { s.failWrites.Store(v) }
+
+// SetFailReads toggles Read failures.
+func (s *FaultyStore) SetFailReads(v bool) { s.failReads.Store(v) }
+
+// PageSize implements Store.
+func (s *FaultyStore) PageSize() int { return s.Inner.PageSize() }
+
+// Allocate implements Store.
+func (s *FaultyStore) Allocate() (page.PageID, error) {
+	if s.failAllocs.Add(-1) >= 0 {
+		return page.InvalidPage, ErrInjected
+	}
+	return s.Inner.Allocate()
+}
+
+// Deallocate implements Store.
+func (s *FaultyStore) Deallocate(id page.PageID) error { return s.Inner.Deallocate(id) }
+
+// EnsureAllocated implements Store.
+func (s *FaultyStore) EnsureAllocated(id page.PageID) error { return s.Inner.EnsureAllocated(id) }
+
+// Read implements Store.
+func (s *FaultyStore) Read(id page.PageID) ([]byte, error) {
+	if s.failReads.Load() {
+		return nil, ErrInjected
+	}
+	return s.Inner.Read(id)
+}
+
+// Write implements Store.
+func (s *FaultyStore) Write(id page.PageID, buf []byte) error {
+	if s.failWrites.Load() {
+		return ErrInjected
+	}
+	return s.Inner.Write(id, buf)
+}
+
+// Allocated implements Store.
+func (s *FaultyStore) Allocated(id page.PageID) bool { return s.Inner.Allocated(id) }
+
+// Stats implements Store.
+func (s *FaultyStore) Stats() Stats { return s.Inner.Stats() }
+
+// Sync implements Store.
+func (s *FaultyStore) Sync() error { return s.Inner.Sync() }
+
+// Close implements Store.
+func (s *FaultyStore) Close() error { return s.Inner.Close() }

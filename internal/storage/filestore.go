@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"blinktree/internal/page"
+)
+
+// FileStore is a Store backed by a single file. Page i lives at byte offset
+// i*pageSize; offset 0 holds the store header (magic, page size, allocation
+// frontier and free list), so page IDs start at 1, which conveniently leaves
+// 0 as the nil pointer.
+//
+// The allocator state is written out on Sync and Close. Crash consistency of
+// allocation is the write-ahead log's job (alloc/dealloc are logged and
+// replayed), so a torn header is repaired by recovery, not by the store.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	next     page.PageID
+	free     []page.PageID
+	live     map[page.PageID]struct{}
+	closed   bool
+
+	reads    uint64
+	writes   uint64
+	allocs   uint64
+	deallocs uint64
+}
+
+const fileMagic = "BLKS"
+
+// minPageSize keeps the header representable; real configurations use 4KiB+.
+const minPageSize = 128
+
+// OpenFileStore opens or creates a file-backed store at path. If the file
+// exists its page size must match pageSize.
+func OpenFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize < minPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileStore{
+		f:        f,
+		pageSize: pageSize,
+		next:     1,
+		live:     make(map[page.PageID]struct{}),
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if err := s.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// header layout: magic(4) pageSize(4) next(8) freeCount(4) free[...](8 each)
+func (s *FileStore) writeHeader() error {
+	buf := make([]byte, s.pageSize)
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(s.pageSize))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.next))
+	maxFree := (s.pageSize - 20) / 8
+	n := len(s.free)
+	if n > maxFree {
+		// Overflowing free entries are dropped: those pages leak until a
+		// rebuild. Acceptable for this store; noted in the package docs.
+		n = maxFree
+	}
+	binary.LittleEndian.PutUint32(buf[16:], uint32(n))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[20+8*i:], uint64(s.free[i]))
+	}
+	_, err := s.f.WriteAt(buf, 0)
+	return err
+}
+
+func (s *FileStore) readHeader() error {
+	buf := make([]byte, s.pageSize)
+	if _, err := s.f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: reading header: %w", err)
+	}
+	if string(buf[:4]) != fileMagic {
+		return fmt.Errorf("storage: bad file magic %q", buf[:4])
+	}
+	if got := int(binary.LittleEndian.Uint32(buf[4:])); got != s.pageSize {
+		return fmt.Errorf("storage: file page size %d, opened with %d", got, s.pageSize)
+	}
+	s.next = page.PageID(binary.LittleEndian.Uint64(buf[8:]))
+	nfree := int(binary.LittleEndian.Uint32(buf[16:]))
+	s.free = s.free[:0]
+	freeSet := make(map[page.PageID]struct{}, nfree)
+	for i := 0; i < nfree; i++ {
+		id := page.PageID(binary.LittleEndian.Uint64(buf[20+8*i:]))
+		s.free = append(s.free, id)
+		freeSet[id] = struct{}{}
+	}
+	for id := page.PageID(1); id < s.next; id++ {
+		if _, ok := freeSet[id]; !ok {
+			s.live[id] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// PageSize implements Store.
+func (s *FileStore) PageSize() int { return s.pageSize }
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() (page.PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return page.InvalidPage, ErrClosed
+	}
+	var id page.PageID
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		id = s.next
+		s.next++
+	}
+	s.live[id] = struct{}{}
+	// Extend the file with a zero page so later reads of an allocated but
+	// never-written page succeed.
+	zero := make([]byte, s.pageSize)
+	if _, err := s.f.WriteAt(zero, int64(id)*int64(s.pageSize)); err != nil {
+		delete(s.live, id)
+		return page.InvalidPage, err
+	}
+	s.allocs++
+	return id, nil
+}
+
+// EnsureAllocated implements Store.
+func (s *FileStore) EnsureAllocated(id page.PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.live[id]; ok {
+		return nil
+	}
+	for i, f := range s.free {
+		if f == id {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+			break
+		}
+	}
+	for s.next <= id {
+		if s.next != id {
+			s.free = append(s.free, s.next)
+		}
+		s.next++
+	}
+	s.live[id] = struct{}{}
+	zero := make([]byte, s.pageSize)
+	if _, err := s.f.WriteAt(zero, int64(id)*int64(s.pageSize)); err != nil {
+		delete(s.live, id)
+		return err
+	}
+	s.allocs++
+	return nil
+}
+
+// Deallocate implements Store.
+func (s *FileStore) Deallocate(id page.PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.live[id]; !ok {
+		return fmt.Errorf("%w: deallocate %d", ErrNotAllocated, id)
+	}
+	delete(s.live, id)
+	s.free = append(s.free, id)
+	s.deallocs++
+	return nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(id page.PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.live[id]; !ok {
+		return nil, fmt.Errorf("%w: read %d", ErrNotAllocated, id)
+	}
+	buf := make([]byte, s.pageSize)
+	if _, err := s.f.ReadAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return nil, err
+	}
+	s.reads++
+	return buf, nil
+}
+
+// Write implements Store.
+func (s *FileStore) Write(id page.PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(buf) != s.pageSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadSize, len(buf), s.pageSize)
+	}
+	if _, ok := s.live[id]; !ok {
+		return fmt.Errorf("%w: write %d", ErrNotAllocated, id)
+	}
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return err
+	}
+	s.writes++
+	return nil
+}
+
+// Allocated implements Store.
+func (s *FileStore) Allocated(id page.PageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.live[id]
+	return ok
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Reads: s.reads, Writes: s.writes,
+		Allocs: s.allocs, Deallocs: s.deallocs,
+		LivePages: len(s.live), HighestPage: s.next - 1,
+	}
+}
+
+// Sync implements Store: persists the allocator header and fsyncs.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.writeHeader(); err != nil {
+		s.f.Close()
+		s.closed = true
+		return err
+	}
+	err := s.f.Close()
+	s.closed = true
+	return err
+}

@@ -1,0 +1,77 @@
+// Package storage provides page stores: flat collections of fixed-size page
+// images addressed by page ID, with allocation and deallocation.
+//
+// Two implementations are provided. MemStore keeps pages in memory and is
+// the substrate for concurrency experiments (the paper's algorithms are
+// about latching, not I/O). FileStore persists pages to a single file and
+// backs the durable configurations exercised by the recovery experiments.
+//
+// Node deallocation matters here because the paper's whole topic is node
+// delete: a deallocated page may be reused by a later allocation, and the
+// tree must guarantee (via delete state and latch coupling) that no stale
+// reference is ever dereferenced. The stores detect use-after-free in tests
+// by failing reads of unallocated pages.
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"blinktree/internal/page"
+)
+
+// Errors returned by stores.
+var (
+	// ErrNotAllocated is returned when reading or writing a page that is
+	// not currently allocated: a use-after-free in the tree.
+	ErrNotAllocated = errors.New("storage: page not allocated")
+	// ErrBadSize is returned when writing a buffer that is not exactly one
+	// page long.
+	ErrBadSize = errors.New("storage: buffer size != page size")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("storage: store closed")
+)
+
+// Store persists fixed-size page images by page ID.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// Allocate reserves a fresh page and returns its ID. IDs may be
+	// recycled from deallocated pages.
+	Allocate() (page.PageID, error)
+	// Deallocate releases a page for reuse.
+	Deallocate(id page.PageID) error
+	// EnsureAllocated makes a specific page ID allocated, advancing the
+	// allocation frontier past it if needed. Recovery uses it to replay
+	// logged allocations at their original IDs; it is idempotent.
+	EnsureAllocated(id page.PageID) error
+	// Read returns a copy of the page image.
+	Read(id page.PageID) ([]byte, error)
+	// Write replaces the page image. len(buf) must equal PageSize.
+	Write(id page.PageID, buf []byte) error
+	// Allocated reports whether id is currently allocated.
+	Allocated(id page.PageID) bool
+	// Stats returns cumulative operation counts.
+	Stats() Stats
+	// Sync makes previous writes durable (no-op for MemStore).
+	Sync() error
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// Stats counts store operations.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Allocs      uint64
+	Deallocs    uint64
+	LivePages   int // currently allocated
+	HighestPage page.PageID
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d deallocs=%d live=%d highest=%d",
+		s.Reads, s.Writes, s.Allocs, s.Deallocs, s.LivePages, s.HighestPage)
+}

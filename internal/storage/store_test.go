@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/page"
+)
+
+// stores returns a fresh instance of each Store implementation for
+// table-driven tests.
+func stores(t *testing.T, pageSize int) map[string]Store {
+	t.Helper()
+	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(pageSize),
+		"file": fs,
+	}
+}
+
+func TestAllocateReadWrite(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id == page.InvalidPage {
+				t.Fatal("allocated the nil page")
+			}
+			buf := bytes.Repeat([]byte{0xAB}, 256)
+			if err := s.Write(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, buf) {
+				t.Fatal("read returned different bytes")
+			}
+		})
+	}
+}
+
+func TestFreshPageReadsZero(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, make([]byte, 256)) {
+				t.Fatal("fresh page not zeroed")
+			}
+		})
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			id, _ := s.Allocate()
+			if err := s.Deallocate(id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Read(id); !errors.Is(err, ErrNotAllocated) {
+				t.Fatalf("read after free: %v, want ErrNotAllocated", err)
+			}
+			if err := s.Write(id, make([]byte, 256)); !errors.Is(err, ErrNotAllocated) {
+				t.Fatalf("write after free: %v, want ErrNotAllocated", err)
+			}
+			if err := s.Deallocate(id); !errors.Is(err, ErrNotAllocated) {
+				t.Fatalf("double free: %v, want ErrNotAllocated", err)
+			}
+			if s.Allocated(id) {
+				t.Fatal("Allocated true after free")
+			}
+		})
+	}
+}
+
+func TestIDRecycling(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			a, _ := s.Allocate()
+			b, _ := s.Allocate()
+			if err := s.Deallocate(a); err != nil {
+				t.Fatal(err)
+			}
+			c, _ := s.Allocate()
+			if c != a {
+				t.Fatalf("expected recycled id %d, got %d", a, c)
+			}
+			// The recycled page must read as zero, not the old image.
+			got, err := s.Read(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, make([]byte, 256)) {
+				t.Fatal("recycled page not zeroed")
+			}
+			_ = b
+		})
+	}
+}
+
+func TestBadWriteSize(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			id, _ := s.Allocate()
+			if err := s.Write(id, make([]byte, 255)); !errors.Is(err, ErrBadSize) {
+				t.Fatalf("short write: %v, want ErrBadSize", err)
+			}
+		})
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.Allocate()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Allocate(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Allocate after close: %v", err)
+			}
+			if _, err := s.Read(id); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Read after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			a, _ := s.Allocate()
+			b, _ := s.Allocate()
+			s.Write(a, make([]byte, 256))
+			s.Read(a)
+			s.Read(b)
+			s.Deallocate(b)
+			st := s.Stats()
+			if st.Allocs != 2 || st.Deallocs != 1 || st.Writes != 1 || st.Reads != 2 {
+				t.Fatalf("stats = %+v", st)
+			}
+			if st.LivePages != 1 {
+				t.Fatalf("LivePages = %d, want 1", st.LivePages)
+			}
+			if !strings.Contains(st.String(), "allocs=2") {
+				t.Fatalf("Stats.String() = %q", st.String())
+			}
+		})
+	}
+}
+
+func TestConcurrentAllocations(t *testing.T) {
+	for name, s := range stores(t, 256) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			var mu sync.Mutex
+			seen := make(map[page.PageID]bool)
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						id, err := s.Allocate()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						mu.Lock()
+						if seen[id] {
+							t.Errorf("duplicate allocation of %d", id)
+						}
+						seen[id] = true
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if len(seen) != 400 {
+				t.Fatalf("allocated %d unique pages, want 400", len(seen))
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	s, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Allocate()
+	b, _ := s.Allocate()
+	c, _ := s.Allocate()
+	payload := bytes.Repeat([]byte{0x5C}, 256)
+	if err := s.Write(b, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deallocate(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Allocated(a) || !s2.Allocated(b) {
+		t.Fatal("allocated pages lost across reopen")
+	}
+	if s2.Allocated(c) {
+		t.Fatal("deallocated page resurrected across reopen")
+	}
+	got, err := s2.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("page contents lost across reopen")
+	}
+	// The freed page should be recycled before the frontier advances.
+	d, _ := s2.Allocate()
+	if d != c {
+		t.Fatalf("recycled id = %d, want %d", d, c)
+	}
+}
+
+func TestFileStoreRejectsWrongPageSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	s, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenFileStore(path, 512); err == nil {
+		t.Fatal("reopen with different page size succeeded")
+	}
+}
+
+func TestFileStoreRejectsTinyPageSize(t *testing.T) {
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "p.db"), 16); err == nil {
+		t.Fatal("page size below minimum accepted")
+	}
+}
+
+// TestQuickAllocFreeCycle property-tests that any interleaving of
+// allocations and frees maintains the invariant: live set == allocated minus
+// freed, and reads succeed exactly on the live set.
+func TestQuickAllocFreeCycle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewMemStore(128)
+		defer s.Close()
+		live := make(map[page.PageID]bool)
+		for i := 0; i < 200; i++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				id, err := s.Allocate()
+				if err != nil || live[id] {
+					return false
+				}
+				live[id] = true
+			} else {
+				var victim page.PageID
+				for id := range live {
+					victim = id
+					break
+				}
+				if err := s.Deallocate(victim); err != nil {
+					return false
+				}
+				delete(live, victim)
+			}
+		}
+		for id := range live {
+			if !s.Allocated(id) {
+				return false
+			}
+			if _, err := s.Read(id); err != nil {
+				return false
+			}
+		}
+		return s.Stats().LivePages == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

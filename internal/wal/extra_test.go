@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blinktree/internal/page"
+)
+
+func TestAppendFuncStampsLSNBeforeEncode(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLSN LSN
+	lsn, err := l.AppendFunc(func(assigned LSN) *Record {
+		sawLSN = assigned
+		// Model stamping a page image with the record's own LSN.
+		return &Record{
+			Type:   TSMO,
+			SMO:    SMOSplit,
+			Images: []PageImage{{ID: 9, Data: []byte{byte(assigned)}}},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 || sawLSN != 1 {
+		t.Fatalf("lsn = %d, callback saw %d", lsn, sawLSN)
+	}
+	l.FlushAll()
+	recs, _ := l.DurableRecords()
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[0].Images[0].Data[0] != 1 {
+		t.Fatal("image not stamped with the assigned LSN")
+	}
+	// Interleaved Append and AppendFunc share one LSN sequence.
+	if n, _ := l.Append(&Record{Type: TBegin, Txn: 1}); n != 2 {
+		t.Fatalf("next Append got LSN %d", n)
+	}
+	if n, _ := l.AppendFunc(func(LSN) *Record { return &Record{Type: TAbort, Txn: 1} }); n != 3 {
+		t.Fatalf("next AppendFunc got LSN %d", n)
+	}
+}
+
+func TestLogStats(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	l.Append(&Record{Type: TBegin, Txn: 1})
+	l.Append(&Record{Type: TCommit, Txn: 1})
+	l.Flush(2)
+	appends, flushes := l.Stats()
+	if appends != 2 || flushes != 1 {
+		t.Fatalf("stats = %d appends, %d flushes", appends, flushes)
+	}
+}
+
+func TestRootFieldRoundTrip(t *testing.T) {
+	for _, r := range []*Record{
+		{Type: TSMO, SMO: SMOGrow, Root: 42, Allocs: []page.PageID{42}},
+		{Type: TCheckpoint, Root: 7, Active: []ActiveTxn{{ID: 3, LastLSN: 9}}},
+	} {
+		r.LSN = 5
+		got, err := DecodeRecord(r.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Root != r.Root {
+			t.Fatalf("Root = %d, want %d", got.Root, r.Root)
+		}
+	}
+}
+
+func TestRecordStringAllTypes(t *testing.T) {
+	recs := []*Record{
+		{LSN: 1, Type: TBegin, Txn: 3},
+		{LSN: 2, Type: TRecOp, Txn: 3, Op: OpInsert, Page: 4, Key: []byte("k")},
+		{LSN: 3, Type: TRecOp, Txn: 3, Op: OpDelete, CLR: true, UndoNext: 1, Key: []byte("k")},
+		{LSN: 4, Type: TSMO, SMO: SMOConsolidate, Deallocs: []page.PageID{9}},
+		{LSN: 5, Type: TCheckpoint, Active: []ActiveTxn{{ID: 1, LastLSN: 2}}},
+		{LSN: 6, Type: TCommit, Txn: 3},
+	}
+	wants := []string{"BEGIN", "insert", "CLR", "consolidate", "CKPT", "COMMIT"}
+	for i, r := range recs {
+		if !strings.Contains(r.String(), wants[i]) {
+			t.Fatalf("record %d String %q missing %q", i, r.String(), wants[i])
+		}
+	}
+}
+
+func TestUnframeErrors(t *testing.T) {
+	if _, err := unframe([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	f := frame([]byte("payload"))
+	f[0] ^= 0xFF // corrupt the length
+	if _, err := unframe(f); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	f2 := frame([]byte("payload"))
+	f2[len(f2)-1] ^= 0xFF // corrupt the payload
+	if _, err := unframe(f2); err == nil {
+		t.Fatal("checksum mismatch accepted")
+	}
+}
+
+func TestFileDeviceClose(t *testing.T) {
+	dev, err := OpenFileDevice(filepath.Join(t.TempDir(), "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Append(frame([]byte("x")))
+	dev.Sync()
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDeviceClose(t *testing.T) {
+	d := NewMemDevice()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"sync"
+)
+
+// Log is the write-ahead log: it assigns LSNs, frames records onto a Device
+// and tracks the durable horizon. All methods are safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dev     Device
+	next    LSN // next LSN to assign
+	flushed LSN // all records with LSN <= flushed are durable
+	synced  LSN // records appended to the device up to here (pre-Sync)
+
+	appends uint64
+	flushes uint64
+}
+
+// NewLog creates a Log over dev, resuming after any records already durable
+// on the device (their LSNs are skipped).
+func NewLog(dev Device) (*Log, error) {
+	l := &Log{dev: dev, next: 1}
+	recs, err := l.readAll()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(recs); n > 0 {
+		l.next = recs[n-1].LSN + 1
+		l.flushed = recs[n-1].LSN
+		l.synced = l.flushed
+	}
+	return l, nil
+}
+
+// AppendFunc assigns the next LSN, passes it to build, and appends the
+// record build returns. It exists for structure modifications: the pages an
+// SMO touches must be stamped with the SMO record's own LSN *before* their
+// after-images are encoded into that record, so LSN assignment and record
+// construction must be atomic.
+func (l *Log) AppendFunc(build func(lsn LSN) *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := build(l.next)
+	r.LSN = l.next
+	if err := l.dev.Append(frame(r.Encode())); err != nil {
+		return 0, err
+	}
+	l.next++
+	l.synced = r.LSN
+	l.appends++
+	return r.LSN, nil
+}
+
+// Append assigns the next LSN to r, encodes it and buffers it on the device.
+// The record is durable only after a Flush covering its LSN.
+func (l *Log) Append(r *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.next
+	if err := l.dev.Append(frame(r.Encode())); err != nil {
+		return 0, err
+	}
+	l.next++
+	l.synced = r.LSN
+	l.appends++
+	return r.LSN, nil
+}
+
+// Flush forces durability of all records with LSN <= upto. It is a no-op if
+// they are already durable (the WAL rule check in the buffer pool calls this
+// on every page write, so the common case must be cheap).
+func (l *Log) Flush(upto LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upto <= l.flushed {
+		return nil
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.flushed = l.synced
+	l.flushes++
+	return nil
+}
+
+// FlushAll forces durability of everything appended so far.
+func (l *Log) FlushAll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.flushed = l.synced
+	l.flushes++
+	return nil
+}
+
+// FlushedLSN returns the durable horizon.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// NextLSN returns the LSN the next Append will receive.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Stats returns (appended records, device syncs forced by Flush).
+func (l *Log) Stats() (appends, flushes uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.flushes
+}
+
+// readAll decodes every durable record.
+func (l *Log) readAll() ([]*Record, error) {
+	frames, err := l.dev.ReadDurable()
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*Record, 0, len(frames))
+	for _, f := range frames {
+		payload, err := unframe(f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// DurableRecords returns every durable record in LSN order. Used by
+// recovery and by the blinkdump tool.
+func (l *Log) DurableRecords() ([]*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readAll()
+}
