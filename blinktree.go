@@ -93,6 +93,15 @@ type Options struct {
 	// processing lazy structure modifications (default 2). Use -1 for
 	// none; call Maintain to run maintenance manually.
 	Workers int
+	// MaintenanceShards is the number of maintenance-scheduler shards;
+	// enqueues and worker pops contend only within one shard. 0 derives
+	// the count from GOMAXPROCS.
+	MaintenanceShards int
+	// MaintenanceSoftCap is the backpressure threshold: above this many
+	// queued maintenance actions, a completing operation processes one
+	// action inline. 0 means the default (64 per shard); -1 disables
+	// backpressure. Only active when Workers > 0.
+	MaintenanceSoftCap int
 	// Baseline optionally selects a comparator algorithm.
 	Baseline Baseline
 }
@@ -108,14 +117,19 @@ type Tree struct {
 // Open creates or recovers a tree.
 func Open(opts Options) (*Tree, error) {
 	cOpts := core.Options{
-		PageSize:  opts.PageSize,
-		CacheSize: opts.CacheSize,
-		MinFill:   opts.MinFill,
-		Workers:   opts.Workers,
-		Compare:   opts.Comparator,
+		PageSize:    opts.PageSize,
+		CacheSize:   opts.CacheSize,
+		MinFill:     opts.MinFill,
+		Workers:     opts.Workers,
+		Compare:     opts.Comparator,
+		TodoShards:  opts.MaintenanceShards,
+		TodoSoftCap: opts.MaintenanceSoftCap,
 	}
 	if opts.Workers < 0 {
 		cOpts.Workers = core.WorkersNone
+	}
+	if opts.MaintenanceSoftCap < 0 {
+		cOpts.TodoSoftCap = core.TodoSoftCapNone
 	}
 	switch opts.Baseline {
 	case BaselinePaper:
@@ -270,6 +284,11 @@ func (t *Tree) Verify() error {
 // Stats returns a snapshot of internal activity counters.
 func (t *Tree) Stats() Stats { return Stats(t.inner.Stats()) }
 
+// SchedulerStats returns a snapshot of the maintenance scheduler: shard
+// layout, queue-depth high-water marks, backpressure and dedup activity,
+// and the enqueue-to-process latency histogram.
+func (t *Tree) SchedulerStats() SchedulerStats { return t.inner.SchedulerStats() }
+
 // Height returns the root level; a single-leaf tree has height 0.
 func (t *Tree) Height() int { return int(t.inner.Height()) }
 
@@ -321,3 +340,7 @@ func (x *Txn) Abort() error { return x.inner.Abort() }
 // comments on the internal definition for the paper sections each counter
 // measures.
 type Stats core.Stats
+
+// SchedulerStats mirrors the maintenance scheduler's observability
+// snapshot; see the internal definition for field semantics.
+type SchedulerStats = core.SchedulerStats

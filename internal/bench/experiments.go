@@ -609,6 +609,44 @@ func E10Overhead(scale Scale) (*Table, error) {
 	return t, nil
 }
 
+// E11Scheduler profiles the sharded maintenance scheduler under an
+// SMO-heavy mixed workload: queue-depth high-water marks, duplicate
+// discoveries collapsed, backpressure inline assists, and the
+// enqueue-to-process latency histogram, across thread counts and shard
+// configurations (1 shard reproduces the old monolithic queue's
+// contention profile).
+func E11Scheduler(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "maintenance scheduler: sharding, ordering, backpressure",
+		Header: []string{"shards", "threads", "ops/s", "queue hw",
+			"dedup hits", "assists", "lat<100µs", "lat<1ms", "lat≥1ms"},
+	}
+	spec := Spec{
+		KeySpace: scale.Preload,
+		Preload:  scale.Preload,
+		Ops:      scale.Ops,
+		Mix:      Mix{Insert: 40, Delete: 40, Search: 20},
+	}
+	for _, shards := range []int{1, 0} { // 0 = GOMAXPROCS-derived default
+		for _, threads := range scale.Threads {
+			cfg := Comparators(expPageSize, false)[0]
+			cfg.Opts.TodoShards = shards
+			res, err := Run(cfg, spec, threads)
+			if err != nil {
+				return nil, fmt.Errorf("E11 shards=%d/%d: %w", shards, threads, err)
+			}
+			lb := res.Sched.LatencyBuckets
+			t.AddRow(res.Sched.Shards, threads, int(res.Throughput),
+				res.Sched.QueueHighWater, res.Sched.DedupHits,
+				res.Sched.InlineAssists, lb[0], lb[1], lb[2]+lb[3]+lb[4])
+		}
+	}
+	t.Note("index-level posts and shrinks drain before leaf work within each shard")
+	t.Note("assists = foreground ops self-throttled past the soft cap (backpressure)")
+	return t, nil
+}
+
 // Experiments maps experiment IDs to their implementations.
 var Experiments = map[string]func(Scale) (*Table, error){
 	"E1":  E1Throughput,
@@ -621,7 +659,8 @@ var Experiments = map[string]func(Scale) (*Table, error){
 	"E8":  E8Ablation,
 	"E9":  E9Recovery,
 	"E10": E10Overhead,
+	"E11": E11Scheduler,
 }
 
 // ExperimentIDs lists experiment IDs in order.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}

@@ -288,8 +288,29 @@ func TestE10OverheadShape(t *testing.T) {
 	}
 }
 
+func TestE11SchedulerShape(t *testing.T) {
+	tb, err := E11Scheduler(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderToTestLog(t, tb)
+	if len(tb.Rows) != 2*len(tiny.Threads) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), 2*len(tiny.Threads))
+	}
+	// First rows are the monolithic single-shard layout; later rows the
+	// GOMAXPROCS-derived default.
+	if tb.Cell(0, 0) != "1" {
+		t.Fatalf("first row shards = %q, want 1", tb.Cell(0, 0))
+	}
+	for i, row := range tb.Rows {
+		if cellFloat(t, row[2]) <= 0 {
+			t.Fatalf("row %d: non-positive throughput", i)
+		}
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 10 {
+	if len(ExperimentIDs) != 11 {
 		t.Fatalf("%d experiment IDs", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {

@@ -47,7 +47,10 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // ops per second
 
-	Stats     core.Stats
+	Stats core.Stats
+	// Sched is the maintenance scheduler's observability snapshot (shard
+	// high-water marks, inline assists, latency histogram).
+	Sched     core.SchedulerStats
 	LivePages int
 	// Utilization is total leaf payload bytes / (leaf pages * page size).
 	Utilization float64
@@ -96,6 +99,7 @@ func Run(cfg Config, spec Spec, goroutines int) (Result, error) {
 		Elapsed:    elapsed,
 		Throughput: float64(perG*goroutines) / elapsed.Seconds(),
 		Stats:      tr.Stats(),
+		Sched:      tr.SchedulerStats(),
 		LivePages:  tr.StoreStats().LivePages,
 	}
 	res.Utilization, err = LeafUtilization(tr, cfg.Opts.PageSize)

@@ -30,16 +30,7 @@ func WriteFigureWalkthrough(w io.Writer) error {
 
 	// Figure 1: fill one leaf (call it F) until it is full.
 	fmt.Fprintln(w, "--- Figure 1: B-link tree before split; node F is full ---")
-	takeAll := func() []action {
-		tr.todo.mu.Lock()
-		defer tr.todo.mu.Unlock()
-		out := tr.todo.queue
-		tr.todo.queue = nil
-		for k := range tr.todo.pending {
-			delete(tr.todo.pending, k)
-		}
-		return out
-	}
+	takeAll := tr.todo.takeAll
 	takeAll()
 	splitsBefore := tr.Stats().Splits
 	var post action

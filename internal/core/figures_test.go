@@ -36,14 +36,7 @@ func buildFigureTree(t *testing.T) *Tree {
 // takeQueuedActions drains the to-do queue's backlog WITHOUT processing it,
 // returning the actions. White-box: lets tests control SMO timing exactly.
 func takeQueuedActions(tr *Tree) []action {
-	tr.todo.mu.Lock()
-	defer tr.todo.mu.Unlock()
-	out := tr.todo.queue
-	tr.todo.queue = nil
-	for k := range tr.todo.pending {
-		delete(tr.todo.pending, k)
-	}
-	return out
+	return tr.todo.takeAll()
 }
 
 // splitSalt makes the synthetic keys of successive splitOneLeaf calls

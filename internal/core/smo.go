@@ -72,7 +72,7 @@ func (t *Tree) processAction(a action) {
 	case actShrink:
 		t.processShrink(a)
 	case actReclaim:
-		t.reclaim(a.origID)
+		t.reclaimAction(a)
 	}
 }
 

@@ -56,6 +56,12 @@ type Stats struct {
 	TxnAborts     uint64
 	ReclaimRetry  uint64 // page reclaim retried due to concurrent pin
 	TodoProcessed uint64
+
+	// Maintenance scheduler (per-shard detail in Tree.SchedulerStats).
+	TodoInlineAssists  uint64 // foreground ops that ran an action inline (backpressure)
+	TodoDedupHits      uint64 // enqueues/probes collapsed onto a pending duplicate
+	TodoQueueHighWater uint64 // maximum total queued actions observed
+	DrainBailouts      uint64 // DrainTodo gave up on a non-shrinking queue
 }
 
 // counters is the atomic backing for Stats.
@@ -73,6 +79,7 @@ type counters struct {
 	noWaitDenied, relatches, relatchFast             atomic.Uint64
 	txnAbortsDX, txnDeadlocks, txnCommits, txnAborts atomic.Uint64
 	reclaimRetry, todoProcessed                      atomic.Uint64
+	todoInlineAssists, todoDedupHits, drainBailouts  atomic.Uint64
 }
 
 // snapshot copies the counters into a Stats value.
@@ -113,5 +120,8 @@ func (c *counters) snapshot() Stats {
 		TxnAborts:         c.txnAborts.Load(),
 		ReclaimRetry:      c.reclaimRetry.Load(),
 		TodoProcessed:     c.todoProcessed.Load(),
+		TodoInlineAssists: c.todoInlineAssists.Load(),
+		TodoDedupHits:     c.todoDedupHits.Load(),
+		DrainBailouts:     c.drainBailouts.Load(),
 	}
 }

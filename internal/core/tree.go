@@ -277,8 +277,35 @@ func (t *Tree) reclaim(id page.PageID) {
 	}
 }
 
+// reclaimAction is the queue-driven retry of reclaim. It must requeue (not
+// enqueue) on failure: while the action is being processed its dedup slot
+// is still occupied, so a nested enqueue of the same key would be collapsed
+// and the retry silently lost.
+func (t *Tree) reclaimAction(a action) {
+	ok, err := t.pool.DiscardIfUnpinned(a.origID, func() error {
+		return t.store.Deallocate(a.origID)
+	})
+	if err != nil {
+		// Duplicate reclaim of an already-deallocated page: ignore.
+		return
+	}
+	if !ok {
+		t.c.reclaimRetry.Add(1)
+		t.todo.requeue(a)
+	}
+}
+
 // Stats returns a snapshot of the tree's activity counters.
-func (t *Tree) Stats() Stats { return t.c.snapshot() }
+func (t *Tree) Stats() Stats {
+	s := t.c.snapshot()
+	s.TodoQueueHighWater = uint64(t.todo.totalHighWater.Load())
+	return s
+}
+
+// SchedulerStats returns a snapshot of the maintenance scheduler: shard
+// layout, queue-depth high-water marks, backpressure/dedup activity and the
+// enqueue-to-process latency histogram.
+func (t *Tree) SchedulerStats() SchedulerStats { return t.todo.snapshot() }
 
 // DX returns the current global index-delete-state counter, for tests and
 // experiment reporting.
@@ -424,6 +451,9 @@ func (t *Tree) opEnd() {
 		t.opsFinished.Add(1)
 	}
 	t.ckpt.RUnlock()
+	// Backpressure: a completing operation holds no latches, so it is a
+	// safe point to self-throttle by running one queued action inline.
+	t.todo.maybeAssist()
 }
 
 // drainDefer parks a deleted page until outstanding references could have
