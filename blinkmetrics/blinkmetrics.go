@@ -1,0 +1,326 @@
+// Package blinkmetrics exports a tree's observability snapshot over HTTP.
+//
+// Two wire formats are supported from the same handler:
+//
+//   - expvar-compatible JSON (the default): one document with every counter
+//     family plus, when metrics are enabled, per-class latency summaries
+//     (count, mean, p50/p99/p999).
+//   - Prometheus text exposition (?format=prometheus): counters, gauges and
+//     cumulative le-bucket histograms in seconds.
+//
+// The package reads only through the public blinktree API; a *blinktree.Tree
+// is a Source as-is:
+//
+//	http.Handle("/metrics", blinkmetrics.Handler(tree))
+package blinkmetrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	blinktree "blinktree"
+	"blinktree/internal/obs"
+)
+
+// Source supplies snapshots to the handler. *blinktree.Tree implements it.
+type Source interface {
+	Snapshot() blinktree.Metrics
+	TraceEvents() []blinktree.TraceEvent
+}
+
+// Handler serves src's current snapshot. The format is chosen by the
+// "format" query parameter: "prometheus" (or "prom") for text exposition,
+// "trace" for the JSON Lines trace dump, anything else for expvar JSON.
+func Handler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "prometheus", "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = WritePrometheus(w, src.Snapshot())
+		case "trace":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = obs.WriteTrace(w, src.TraceEvents())
+		default:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = WriteExpvar(w, src.Snapshot())
+		}
+	})
+}
+
+// Publish registers src under name with the process expvar registry, so the
+// snapshot appears in /debug/vars alongside the runtime's variables.
+func Publish(name string, src Source) {
+	expvar.Publish(name, expvar.Func(func() any { return ExpvarDoc(src.Snapshot()) }))
+}
+
+// ExpvarDoc builds the JSON document WriteExpvar emits. Map keys marshal in
+// sorted order, so the output is deterministic for a given snapshot.
+func ExpvarDoc(m blinktree.Metrics) map[string]any {
+	doc := map[string]any{
+		"stats":     m.Stats,
+		"scheduler": m.Sched,
+		"latch":     m.Latch,
+		"pool":      m.Pool,
+		"store":     m.Store,
+		"locks":     m.Locks,
+		"height":    m.Height,
+		"wal": map[string]uint64{
+			"appends": m.LogAppends,
+			"forces":  m.LogForces,
+		},
+	}
+	if m.Obs == nil {
+		return doc
+	}
+	ops := map[string]any{}
+	for op := obs.OpSearch; op < obs.OpCount; op++ {
+		ops[op.String()] = histSummary(m.Obs.Ops[op])
+	}
+	actions := map[string]any{}
+	for a := obs.ActPost; a < obs.ActCount; a++ {
+		actions[a.String()] = histSummary(m.Obs.Actions[a])
+	}
+	doc["latency"] = map[string]any{
+		"ops":        ops,
+		"actions":    actions,
+		"page_load":  histSummary(m.Obs.PageLoad),
+		"writeback":  histSummary(m.Obs.WriteBack),
+		"log_append": histSummary(m.Obs.LogAppend),
+		"log_flush":  histSummary(m.Obs.LogFlush),
+		"lock_wait":  histSummary(m.Obs.LockWait),
+	}
+	doc["trace"] = map[string]uint64{
+		"emitted":          m.Obs.TraceSeq,
+		"dropped":          m.Obs.TraceDropped,
+		"latch_long_waits": m.Obs.LatchLongWaits,
+	}
+	return doc
+}
+
+// histSummary condenses one histogram into the JSON latency summary.
+func histSummary(h obs.HistogramSnapshot) map[string]any {
+	return map[string]any{
+		"count":   h.Count,
+		"sum_ns":  h.Sum,
+		"mean_ns": int64(h.Mean()),
+		"p50_ns":  int64(h.Quantile(0.50)),
+		"p99_ns":  int64(h.Quantile(0.99)),
+		"p999_ns": int64(h.Quantile(0.999)),
+	}
+}
+
+// WriteExpvar writes the expvar-compatible JSON document for m.
+func WriteExpvar(w io.Writer, m blinktree.Metrics) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ExpvarDoc(m))
+}
+
+// promWriter accumulates Prometheus text exposition lines, remembering the
+// first write error so call sites stay linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// hist emits one histogram in Prometheus form (cumulative le buckets, in
+// seconds) with a fixed label.
+func (p *promWriter) hist(name, labelKey, labelVal string, h obs.HistogramSnapshot) {
+	label := ""
+	if labelKey != "" {
+		label = labelKey + `="` + labelVal + `",`
+	}
+	var cum uint64
+	for i := 0; i < obs.HistBuckets-1; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatFloat(h.BucketBound(i).Seconds(), 'g', -1, 64)
+		p.printf("%s_bucket{%sle=\"%s\"} %d\n", name, label, le, cum)
+	}
+	p.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, label, h.Count)
+	flabel := ""
+	if labelKey != "" {
+		flabel = "{" + labelKey + `="` + labelVal + `"}`
+	}
+	p.printf("%s_sum%s %g\n", name, flabel, float64(h.Sum)/1e9)
+	p.printf("%s_count%s %d\n", name, flabel, h.Count)
+}
+
+// WritePrometheus writes m in Prometheus text exposition format. Every
+// series is emitted even at zero, so scrapes see a stable set and the SMO
+// abort causes (dx vs dd vs identity vs edge) are always distinguishable.
+func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
+	p := &promWriter{w: w}
+	s := m.Stats
+
+	p.header("blinktree_ops_total", "Completed operations by class.", "counter")
+	for _, v := range []struct {
+		op string
+		n  uint64
+	}{
+		{"search", s.Searches}, {"insert", s.Inserts}, {"update", s.Updates},
+		{"delete", s.Deletes}, {"scan", s.Scans},
+	} {
+		p.printf("blinktree_ops_total{op=%q} %d\n", v.op, v.n)
+	}
+
+	p.header("blinktree_traversal_total", "Traversal behaviour.", "counter")
+	p.printf("blinktree_traversal_total{event=\"side\"} %d\n", s.SideTraversals)
+	p.printf("blinktree_traversal_total{event=\"restart\"} %d\n", s.Restarts)
+
+	p.header("blinktree_smo_total", "Structure modifications completed by kind.", "counter")
+	for _, v := range []struct {
+		kind string
+		n    uint64
+	}{
+		{"split", s.Splits}, {"post", s.PostsDone},
+		{"leaf_consolidate", s.LeafConsolidated},
+		{"index_consolidate", s.IndexConsolidated},
+		{"grow", s.Grows}, {"shrink", s.Shrinks},
+	} {
+		p.printf("blinktree_smo_total{kind=%q} %d\n", v.kind, v.n)
+	}
+
+	// Abort causes are split so D_X (global index-delete state) and D_D
+	// (per-parent data-delete state) remain distinguishable downstream.
+	p.header("blinktree_smo_aborts_total", "Maintenance actions abandoned, by action and cause.", "counter")
+	for _, v := range []struct {
+		action, cause string
+		n             uint64
+	}{
+		{"post", "dx", s.PostsAbortDX},
+		{"post", "dd", s.PostsAbortDD},
+		{"post", "identity", s.PostsAbortID},
+		{"delete", "dx", s.DeleteAbortDX},
+		{"delete", "dd", 0}, // consolidation never aborts on D_D; kept for a stable series set
+		{"delete", "identity", s.DeleteAbortID},
+		{"delete", "edge", s.DeleteAbortEdge},
+	} {
+		p.printf("blinktree_smo_aborts_total{action=%q,cause=%q} %d\n", v.action, v.cause, v.n)
+	}
+
+	p.header("blinktree_smo_skips_total", "Consolidations skipped (victim refilled or does not fit).", "counter")
+	p.printf("blinktree_smo_skips_total %d\n", s.DeleteSkipFit)
+
+	p.header("blinktree_scheduler_total", "Maintenance scheduler activity.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"enqueued_post", s.PostsEnqueued}, {"enqueued_delete", s.DeletesEnqueued},
+		{"processed", s.TodoProcessed}, {"requeued", s.PostsRequeued},
+		{"inline_assist", s.TodoInlineAssists}, {"dedup_hit", s.TodoDedupHits},
+		{"drain_bailout", s.DrainBailouts},
+	} {
+		p.printf("blinktree_scheduler_total{event=%q} %d\n", v.event, v.n)
+	}
+
+	p.header("blinktree_txn_total", "Transaction outcomes and §2.4 lock/latch interaction.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"commit", s.TxnCommits}, {"abort", s.TxnAborts},
+		{"abort_dx", s.TxnAbortsDX}, {"deadlock", s.TxnDeadlocks},
+		{"nowait_denied", s.NoWaitDenied}, {"relatch", s.Relatches},
+		{"relatch_fast", s.RelatchFast},
+	} {
+		p.printf("blinktree_txn_total{event=%q} %d\n", v.event, v.n)
+	}
+
+	p.header("blinktree_latch_acquire_total", "Granted latch requests by mode.", "counter")
+	p.printf("blinktree_latch_acquire_total{mode=\"shared\"} %d\n", m.Latch.AcquireShared)
+	p.printf("blinktree_latch_acquire_total{mode=\"update\"} %d\n", m.Latch.AcquireUpdate)
+	p.printf("blinktree_latch_acquire_total{mode=\"exclusive\"} %d\n", m.Latch.AcquireExclusive)
+	p.header("blinktree_latch_waits_total", "Blocking latch acquisitions.", "counter")
+	p.printf("blinktree_latch_waits_total %d\n", m.Latch.Waits)
+	p.header("blinktree_latch_wait_seconds_total", "Total time spent blocked on latches.", "counter")
+	p.printf("blinktree_latch_wait_seconds_total %g\n", float64(m.Latch.WaitNanos)/1e9)
+	p.header("blinktree_latch_long_waits_total", "Latch waits at or above the configured threshold.", "counter")
+	p.printf("blinktree_latch_long_waits_total %d\n", m.Latch.LongWaits)
+	p.header("blinktree_latch_try_failures_total", "TryAcquire refusals.", "counter")
+	p.printf("blinktree_latch_try_failures_total %d\n", m.Latch.TryFailures)
+
+	p.header("blinktree_lock_total", "Record lock manager activity.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"grant", m.Locks.Grants}, {"immediate", m.Locks.ImmediateOK},
+		{"nowait_denied", m.Locks.NoWaitDenials}, {"wait", m.Locks.Waits},
+		{"deadlock", m.Locks.Deadlocks},
+	} {
+		p.printf("blinktree_lock_total{event=%q} %d\n", v.event, v.n)
+	}
+
+	p.header("blinktree_pool_total", "Buffer pool activity.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"hit", m.Pool.Hits}, {"miss", m.Pool.Misses},
+		{"eviction", m.Pool.Evictions}, {"writeback", m.Pool.WriteBacks},
+	} {
+		p.printf("blinktree_pool_total{event=%q} %d\n", v.event, v.n)
+	}
+	p.header("blinktree_pool_resident_pages", "Pages resident in the buffer pool.", "gauge")
+	p.printf("blinktree_pool_resident_pages %d\n", m.Pool.Resident)
+
+	p.header("blinktree_store_total", "Page store I/O.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"read", m.Store.Reads}, {"write", m.Store.Writes},
+		{"alloc", m.Store.Allocs}, {"dealloc", m.Store.Deallocs},
+	} {
+		p.printf("blinktree_store_total{event=%q} %d\n", v.event, v.n)
+	}
+	p.header("blinktree_store_live_pages", "Currently allocated pages.", "gauge")
+	p.printf("blinktree_store_live_pages %d\n", m.Store.LivePages)
+
+	p.header("blinktree_wal_total", "Write-ahead log activity.", "counter")
+	p.printf("blinktree_wal_total{event=\"append\"} %d\n", m.LogAppends)
+	p.printf("blinktree_wal_total{event=\"force\"} %d\n", m.LogForces)
+
+	p.header("blinktree_height", "Current root level.", "gauge")
+	p.printf("blinktree_height %d\n", m.Height)
+
+	if m.Obs != nil {
+		p.header("blinktree_op_latency_seconds", "Operation latency by class.", "histogram")
+		for op := obs.OpSearch; op < obs.OpCount; op++ {
+			p.hist("blinktree_op_latency_seconds", "op", op.String(), m.Obs.Ops[op])
+		}
+		p.header("blinktree_action_latency_seconds", "Maintenance action processing latency by kind.", "histogram")
+		for a := obs.ActPost; a < obs.ActCount; a++ {
+			p.hist("blinktree_action_latency_seconds", "action", a.String(), m.Obs.Actions[a])
+		}
+		p.header("blinktree_io_latency_seconds", "Buffer pool and WAL I/O latency.", "histogram")
+		p.hist("blinktree_io_latency_seconds", "io", "page_load", m.Obs.PageLoad)
+		p.hist("blinktree_io_latency_seconds", "io", "writeback", m.Obs.WriteBack)
+		p.hist("blinktree_io_latency_seconds", "io", "log_append", m.Obs.LogAppend)
+		p.hist("blinktree_io_latency_seconds", "io", "log_flush", m.Obs.LogFlush)
+		p.header("blinktree_lock_wait_seconds", "Blocking record-lock wait latency.", "histogram")
+		p.hist("blinktree_lock_wait_seconds", "", "", m.Obs.LockWait)
+
+		p.header("blinktree_trace_events_total", "Trace events emitted and dropped by the bounded ring.", "counter")
+		p.printf("blinktree_trace_events_total{state=\"emitted\"} %d\n", m.Obs.TraceSeq)
+		p.printf("blinktree_trace_events_total{state=\"dropped\"} %d\n", m.Obs.TraceDropped)
+	}
+
+	return p.err
+}

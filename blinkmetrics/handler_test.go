@@ -1,0 +1,169 @@
+package blinkmetrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	blinktree "blinktree"
+	"blinktree/internal/obs"
+)
+
+// openTree builds an in-memory tree with full observability and some traffic.
+func openTree(t *testing.T) *blinktree.Tree {
+	t.Helper()
+	if !obs.Compiled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	tr, err := blinktree.Open(blinktree.Options{
+		PageSize:      512,
+		Observability: &blinktree.Observability{Metrics: true, Trace: true},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	for i := 0; i < 500; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if err := tr.Put(k, k); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if _, err := tr.Get(k); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if err := tr.Delete(k); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	tr.Maintain()
+	return tr
+}
+
+func TestHandlerExpvarJSON(t *testing.T) {
+	tr := openTree(t)
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"stats", "scheduler", "latch", "pool", "store", "locks", "latency", "trace"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("missing top-level key %q", key)
+		}
+	}
+	lat, ok := doc["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency section missing")
+	}
+	ops := lat["ops"].(map[string]any)
+	ins := ops["insert"].(map[string]any)
+	if ins["count"].(float64) < 400 {
+		t.Errorf("insert histogram count = %v, want >= 400", ins["count"])
+	}
+	if ins["p50_ns"].(float64) <= 0 || ins["p999_ns"].(float64) < ins["p50_ns"].(float64) {
+		t.Errorf("implausible quantiles: %v", ins)
+	}
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	tr := openTree(t)
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	// Every abort cause must be present even at zero, with dx and dd as
+	// distinct causes.
+	for _, series := range []string{
+		`blinktree_smo_aborts_total{action="post",cause="dx"}`,
+		`blinktree_smo_aborts_total{action="post",cause="dd"}`,
+		`blinktree_smo_aborts_total{action="delete",cause="dx"}`,
+		`blinktree_smo_aborts_total{action="delete",cause="edge"}`,
+		`blinktree_ops_total{op="insert"} 500`,
+		`blinktree_ops_total{op="delete"} 100`,
+		`blinktree_op_latency_seconds_bucket{op="insert",le="+Inf"}`,
+		`blinktree_op_latency_seconds_count{op="search"} 100`,
+		`blinktree_action_latency_seconds_bucket{action="post",le="+Inf"}`,
+		"# TYPE blinktree_op_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("missing series %q", series)
+		}
+	}
+
+	// le buckets must be cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(body, "blinktree_op_latency_seconds_count{op=\"insert\"} ") {
+		t.Errorf("missing insert histogram count")
+	}
+}
+
+func TestHandlerTraceDump(t *testing.T) {
+	tr := openTree(t)
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=trace", nil))
+
+	events, err := obs.ReadTrace(rec.Body)
+	if err != nil {
+		t.Fatalf("trace dump does not round-trip: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("no trace events; splits should have enqueued posts")
+	}
+	var sawEnq, sawDone bool
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvEnqueued:
+			sawEnq = true
+		case obs.EvCompleted:
+			sawDone = true
+		}
+	}
+	if !sawEnq || !sawDone {
+		t.Errorf("missing lifecycle kinds: enqueued=%v completed=%v", sawEnq, sawDone)
+	}
+}
+
+func TestWriteExpvarDisabledTree(t *testing.T) {
+	if obs.ForceTrace {
+		t.Skip("obstrace build forces metrics on for every tree")
+	}
+	tr, err := blinktree.Open(blinktree.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer tr.Close()
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := WriteExpvar(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("expvar: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["latency"]; ok {
+		t.Errorf("latency section present on a tree without metrics")
+	}
+	sb.Reset()
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+	if !strings.Contains(sb.String(), `blinktree_smo_aborts_total{action="post",cause="dd"} 0`) {
+		t.Errorf("zero-valued abort series must still be emitted")
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"path/filepath"
 
 	"blinktree/internal/core"
+	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
@@ -104,7 +106,27 @@ type Options struct {
 	MaintenanceSoftCap int
 	// Baseline optionally selects a comparator algorithm.
 	Baseline Baseline
+
+	// Observability enables per-operation latency histograms
+	// (Observability.Metrics) and/or the SMO lifecycle trace ring
+	// (Observability.Trace). Nil disables both; the hot paths then pay
+	// only a nil-pointer check (see the overhead benchmark in
+	// internal/bench). Snapshot, TraceEvents and the blinkmetrics HTTP
+	// handler read what this collects.
+	Observability *Observability
 }
+
+// Observability configures metrics and tracing; see obs.Config.
+type Observability = obs.Config
+
+// Metrics is a tree's full observability snapshot: operation counters,
+// scheduler, latch, buffer pool, store, lock and log statistics, plus (when
+// enabled) latency histograms.
+type Metrics = core.TreeMetrics
+
+// TraceEvent is one structured trace event: an SMO lifecycle transition, a
+// long latch wait, a no-wait lock failure, a deadlock victim.
+type TraceEvent = obs.Event
 
 // Tree is a concurrent ordered key/value map backed by the B-link tree.
 // All methods are safe for concurrent use.
@@ -131,6 +153,7 @@ func Open(opts Options) (*Tree, error) {
 	if opts.MaintenanceSoftCap < 0 {
 		cOpts.TodoSoftCap = core.TodoSoftCapNone
 	}
+	cOpts.Observability = opts.Observability
 	switch opts.Baseline {
 	case BaselinePaper:
 	case BaselineDrain:
@@ -288,6 +311,22 @@ func (t *Tree) Stats() Stats { return Stats(t.inner.Stats()) }
 // layout, queue-depth high-water marks, backpressure and dedup activity,
 // and the enqueue-to-process latency histogram.
 func (t *Tree) SchedulerStats() SchedulerStats { return t.inner.SchedulerStats() }
+
+// Snapshot returns the tree's full metrics in one consistent read. The
+// histogram section (Metrics.Obs) is nil unless Options.Observability
+// enabled metrics.
+func (t *Tree) Snapshot() Metrics { return t.inner.Snapshot() }
+
+// TraceEvents returns the buffered trace events, oldest first; nil unless
+// Options.Observability enabled tracing. The ring is bounded and drops the
+// oldest events under pressure (Snapshot reports how many).
+func (t *Tree) TraceEvents() []TraceEvent { return t.inner.TraceEvents() }
+
+// LatchStats returns this tree's latch acquisition/wait counters.
+func (t *Tree) LatchStats() LatchStats { return t.inner.LatchStats() }
+
+// LatchStats mirrors the per-tree latch counters.
+type LatchStats = latch.Stats
 
 // Height returns the root level; a single-leaf tree has height 0.
 func (t *Tree) Height() int { return int(t.inner.Height()) }

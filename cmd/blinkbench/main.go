@@ -9,25 +9,37 @@
 //	blinkbench -exp E2,E3 -scale full   # specific experiments, full scale
 //	blinkbench -exp figures             # Figures 1-4 walkthrough
 //	blinkbench -list                    # list experiments
+//	blinkbench -lat                     # mixed-workload latency profile
+//	blinkbench -lat -json               # ... plus the expvar JSON snapshot
+//	blinkbench -lat -trace              # ... plus the SMO trace events
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
 
+	"blinktree/blinkmetrics"
 	"blinktree/internal/bench"
 	"blinktree/internal/core"
+	"blinktree/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiments to run: all, figures, or comma-separated IDs (E1..E11)")
-		scale   = flag.String("scale", "quick", "quick or full")
-		preload = flag.Int("preload", 0, "override preload record count")
-		ops     = flag.Int("ops", 0, "override measured operation count")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiments to run: all, figures, or comma-separated IDs (E1..E11)")
+		scale    = flag.String("scale", "quick", "quick or full")
+		preload  = flag.Int("preload", 0, "override preload record count")
+		ops      = flag.Int("ops", 0, "override measured operation count")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		lat      = flag.Bool("lat", false, "run a mixed-workload latency profile (p50/p99/p999 per operation class) instead of experiments")
+		jsonOut  = flag.Bool("json", false, "with -lat: print the expvar JSON metrics snapshot after the profile")
+		traceOut = flag.Bool("trace", false, "with -lat: print the buffered SMO trace events after the profile")
 	)
 	flag.Parse()
 
@@ -48,6 +60,14 @@ func main() {
 	}
 	if *ops > 0 {
 		sc.Ops = *ops
+	}
+
+	if *lat || *jsonOut || *traceOut {
+		if err := latencyProfile(os.Stdout, sc, *jsonOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "latency profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var ids []string
@@ -88,4 +108,83 @@ func main() {
 		}
 		tb.Render(os.Stdout)
 	}
+}
+
+// latencyProfile runs a 40/40/20 insert/search/delete mix with full
+// observability enabled and reports per-class latency percentiles (preload
+// excluded), optionally followed by the expvar JSON snapshot and the trace
+// ring contents.
+func latencyProfile(w io.Writer, sc bench.Scale, jsonOut, traceOut bool) error {
+	tr, err := core.New(core.Options{
+		PageSize: 1024, MinFill: 0.35, Workers: 2,
+		Observability: &obs.Config{Metrics: true, Trace: true},
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	spec := bench.Spec{
+		KeySpace: sc.Preload * 2,
+		Preload:  sc.Preload,
+		Ops:      sc.Ops,
+		Mix:      bench.Mix{Insert: 40, Search: 40, Delete: 20},
+	}
+	if err := bench.Preload(tr, spec); err != nil {
+		return err
+	}
+	pre := tr.Registry().Snapshot()
+
+	threads := sc.Threads[len(sc.Threads)-1]
+	perG := spec.Ops / threads
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	start := time.Now()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			errCh <- bench.Worker(tr, spec, seed, perG)
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	tr.DrainTodo()
+
+	m := tr.Snapshot()
+	fmt.Fprintf(w, "== latency profile: mix %s, %d ops, %d goroutines, %.0f ops/s ==\n",
+		spec.Mix, perG*threads, threads, float64(perG*threads)/elapsed.Seconds())
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "op\tcount\tmean\tp50\tp99\tp999")
+	for op := obs.OpSearch; op < obs.OpCount; op++ {
+		h := m.Obs.Ops[op].Delta(pre.Ops[op])
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", op, h.Count,
+			h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+	}
+	tw.Flush()
+
+	if jsonOut {
+		fmt.Fprintln(w, "-- expvar snapshot --")
+		if err := blinkmetrics.WriteExpvar(w, m); err != nil {
+			return err
+		}
+	}
+	if traceOut {
+		evs := tr.TraceEvents()
+		fmt.Fprintf(w, "-- trace ring: %d events (%d emitted, %d dropped) --\n",
+			len(evs), m.Obs.TraceSeq, m.Obs.TraceDropped)
+		for _, e := range evs {
+			fmt.Fprintln(w, obs.FormatEvent(e))
+		}
+	}
+	return nil
 }

@@ -7,29 +7,43 @@
 //	blinkdump -path /data/mytree            # tree structure
 //	blinkdump -path /data/mytree -wal       # log records instead
 //	blinkdump -path /data/mytree -wal -tree # both
+//	blinkdump -trace events.jsonl           # render a trace dump ("-" = stdin)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"blinktree/internal/core"
+	"blinktree/internal/obs"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
 
 func main() {
 	var (
-		path     = flag.String("path", "", "tree directory (pages.db + wal.log)")
-		pageSize = flag.Int("pagesize", 4096, "page size the tree was created with")
-		dumpWAL  = flag.Bool("wal", false, "dump write-ahead log records")
-		dumpTree = flag.Bool("tree", false, "dump tree structure (default unless -wal)")
+		path      = flag.String("path", "", "tree directory (pages.db + wal.log)")
+		pageSize  = flag.Int("pagesize", 4096, "page size the tree was created with")
+		dumpWAL   = flag.Bool("wal", false, "dump write-ahead log records")
+		dumpTree  = flag.Bool("tree", false, "dump tree structure (default unless -wal)")
+		traceFile = flag.String("trace", "", "render a JSON Lines trace dump (blinkmetrics ?format=trace or blinkbench -lat -trace); \"-\" reads stdin")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		if err := dumpTrace(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "blinkdump: %v\n", err)
+			os.Exit(1)
+		}
+		if *path == "" {
+			return
+		}
+	}
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "blinkdump: -path is required")
+		fmt.Fprintln(os.Stderr, "blinkdump: -path or -trace is required")
 		os.Exit(2)
 	}
 	if !*dumpWAL {
@@ -86,4 +100,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// dumpTrace renders a JSON Lines trace dump human-readably.
+func dumpTrace(name string) error {
+	var r io.Reader = os.Stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- trace: %d events --\n", len(events))
+	for _, e := range events {
+		fmt.Println(obs.FormatEvent(e))
+	}
+	return nil
 }

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"blinktree/internal/core"
-	"blinktree/internal/latch"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
@@ -38,7 +37,7 @@ func E1Throughput(scale Scale) (*Table, error) {
 	t := &Table{
 		ID:     "E1",
 		Title:  "mixed workload throughput (ops/s) vs goroutines",
-		Header: []string{"config", "threads", "ops/s", "splits", "consolidations", "latch waits"},
+		Header: []string{"config", "threads", "ops/s", "splits", "consolidations", "latch waits", "p50", "p99", "p999"},
 	}
 	spec := Spec{
 		KeySpace: scale.Preload * 2,
@@ -48,14 +47,13 @@ func E1Throughput(scale Scale) (*Table, error) {
 	}
 	for _, threads := range scale.Threads {
 		for _, cfg := range Comparators(expPageSize, false) {
-			latch.ResetStats()
 			res, err := Run(cfg, spec, threads)
 			if err != nil {
 				return nil, fmt.Errorf("E1 %s/%d: %w", cfg.Name, threads, err)
 			}
 			t.AddRow(cfg.Name, threads, int(res.Throughput),
 				res.Stats.Splits, res.Stats.LeafConsolidated+res.Stats.IndexConsolidated,
-				latch.Snapshot().Waits)
+				res.Latch.Waits, res.P50, res.P99, res.P999)
 		}
 	}
 	if runtime.NumCPU() == 1 {

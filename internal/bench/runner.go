@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"blinktree/internal/core"
+	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/wal"
 )
 
@@ -22,7 +24,10 @@ type Config struct {
 // logged is true.
 func Comparators(pageSize int, logged bool) []Config {
 	mk := func(name string, f func(*core.Options)) Config {
-		o := core.Options{PageSize: pageSize, MinFill: 0.35, Workers: 2}
+		o := core.Options{
+			PageSize: pageSize, MinFill: 0.35, Workers: 2,
+			Observability: &obs.Config{Metrics: true},
+		}
 		if logged {
 			o.LogDevice = wal.NewMemDevice()
 		}
@@ -50,8 +55,18 @@ type Result struct {
 	Stats core.Stats
 	// Sched is the maintenance scheduler's observability snapshot (shard
 	// high-water marks, inline assists, latency histogram).
-	Sched     core.SchedulerStats
-	LivePages int
+	Sched core.SchedulerStats
+	// Latch is this tree's latch activity (per-tree recorder; other trees
+	// in the process do not pollute it).
+	Latch latch.Stats
+	// Obs is the tree's histogram snapshot; nil when the config disables
+	// observability.
+	Obs *obs.Snapshot
+	// P50/P99/P999 are measured-phase operation latency quantiles merged
+	// across all operation classes (preload excluded); zero when
+	// observability is disabled.
+	P50, P99, P999 time.Duration
+	LivePages      int
 	// Utilization is total leaf payload bytes / (leaf pages * page size).
 	Utilization float64
 	LogAppends  uint64
@@ -69,6 +84,12 @@ func Run(cfg Config, spec Spec, goroutines int) (Result, error) {
 	defer tr.Close()
 	if err := Preload(tr, spec); err != nil {
 		return Result{}, err
+	}
+	// Snapshot the histograms after preload so the reported percentiles
+	// cover only the measured phase.
+	var pre *obs.Snapshot
+	if reg := tr.Registry(); reg != nil {
+		pre = reg.Snapshot()
 	}
 
 	var wg sync.WaitGroup
@@ -100,7 +121,22 @@ func Run(cfg Config, spec Spec, goroutines int) (Result, error) {
 		Throughput: float64(perG*goroutines) / elapsed.Seconds(),
 		Stats:      tr.Stats(),
 		Sched:      tr.SchedulerStats(),
+		Latch:      tr.LatchStats(),
 		LivePages:  tr.StoreStats().LivePages,
+	}
+	if reg := tr.Registry(); reg != nil {
+		res.Obs = reg.Snapshot()
+		var merged obs.HistogramSnapshot
+		for i := range res.Obs.Ops {
+			h := res.Obs.Ops[i]
+			if pre != nil {
+				h = h.Delta(pre.Ops[i])
+			}
+			merged = merged.Merge(h)
+		}
+		res.P50 = merged.Quantile(0.50)
+		res.P99 = merged.Quantile(0.99)
+		res.P999 = merged.Quantile(0.999)
 	}
 	res.Utilization, err = LeafUtilization(tr, cfg.Opts.PageSize)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blinktree/internal/page"
 	"blinktree/internal/storage"
@@ -93,7 +94,21 @@ type Pool struct {
 	misses     atomic.Uint64
 	evictions  atomic.Uint64
 	writeBacks atomic.Uint64
+
+	// obs, when set, is told how long page loads and write-backs take.
+	// Set once (SetObserver) before the pool sees traffic.
+	obs Observer
 }
+
+// Observer receives page I/O latencies. *obs.Registry implements it.
+type Observer interface {
+	PageLoad(d time.Duration)
+	WriteBack(d time.Duration)
+}
+
+// SetObserver installs o as the pool's I/O observer. It must be called
+// before the pool is shared between goroutines.
+func (p *Pool) SetObserver(o Observer) { p.obs = o }
 
 // NewPool creates a pool of at most capacity objects over store. log may be
 // nil when no write-ahead logging is configured.
@@ -148,10 +163,17 @@ func (p *Pool) Fetch(id page.PageID) (Object, error) {
 	p.mu.Unlock()
 	p.misses.Add(1)
 
+	var t0 time.Time
+	if p.obs != nil {
+		t0 = time.Now()
+	}
 	data, err := p.store.Read(id)
 	var obj Object
 	if err == nil {
 		obj, err = p.codec.Unmarshal(data)
+	}
+	if p.obs != nil {
+		p.obs.PageLoad(time.Since(t0))
 	}
 
 	p.mu.Lock()
@@ -325,6 +347,11 @@ func (p *Pool) evictLocked(f *frame) error {
 
 // writeBack marshals and writes one object, flushing the log first.
 func (p *Pool) writeBack(id page.PageID, obj Object) error {
+	var t0 time.Time
+	if p.obs != nil {
+		t0 = time.Now()
+		defer func() { p.obs.WriteBack(time.Since(t0)) }()
+	}
 	if p.log != nil {
 		if err := p.log.Flush(obj.PageLSN()); err != nil {
 			return err

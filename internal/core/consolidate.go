@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 	"blinktree/internal/wal"
 )
@@ -24,6 +25,7 @@ func (t *Tree) processDelete(a action) {
 		// Resolve it with a fresh traversal and a freshly remembered D_X.
 		if !t.resolveParent(&a) {
 			t.c.deleteAbortEdge.Add(1)
+			t.traceSMO(obs.EvAbortEdge, &a)
 			return
 		}
 	}
@@ -43,6 +45,7 @@ func (t *Tree) processDelete(a action) {
 	if !found || p.c.Children[i] != a.origID {
 		// The term was never posted, or the victim is already gone.
 		t.c.deleteAbortEdge.Add(1)
+		t.traceSMO(obs.EvAbortEdge, &a)
 		t.unlatchUnpin(p, latch.Exclusive, true)
 		return
 	}
@@ -51,6 +54,7 @@ func (t *Tree) processDelete(a action) {
 		// parent — abort (A.5 step 2). Consolidating the parent later can
 		// unblock this node.
 		t.c.deleteAbortEdge.Add(1)
+		t.traceSMO(obs.EvAbortEdge, &a)
 		t.unlatchUnpin(p, latch.Exclusive, true)
 		return
 	}
@@ -61,6 +65,7 @@ func (t *Tree) processDelete(a action) {
 			t.unlatchUnpin(left, latch.Exclusive, false)
 		}
 		t.c.deleteAbortEdge.Add(1)
+		t.traceSMO(obs.EvAbortEdge, &a)
 		t.unlatchUnpin(p, latch.Exclusive, true)
 		return
 	}
@@ -68,6 +73,7 @@ func (t *Tree) processDelete(a action) {
 	// 3); a mismatch means splits intervened.
 	if left.c.Right != a.origID {
 		t.c.deleteAbortEdge.Add(1)
+		t.traceSMO(obs.EvAbortEdge, &a)
 		t.unlatchUnpin(left, latch.Exclusive, false)
 		t.unlatchUnpin(p, latch.Exclusive, true)
 		return
@@ -78,6 +84,7 @@ func (t *Tree) processDelete(a action) {
 			t.unlatchUnpin(victim, latch.Exclusive, false)
 		}
 		t.c.deleteAbortEdge.Add(1)
+		t.traceSMO(obs.EvAbortEdge, &a)
 		t.unlatchUnpin(left, latch.Exclusive, false)
 		t.unlatchUnpin(p, latch.Exclusive, true)
 		return
@@ -86,6 +93,7 @@ func (t *Tree) processDelete(a action) {
 	// Step 4: still worth consolidating, and does it fit?
 	if !t.underutilized(victim) || t.mergedSize(left, victim) > t.opts.PageSize {
 		t.c.deleteSkipFit.Add(1)
+		t.traceSMO(obs.EvSkipFit, &a)
 		t.unlatchUnpin(victim, latch.Exclusive, false)
 		t.unlatchUnpin(left, latch.Exclusive, false)
 		t.unlatchUnpin(p, latch.Exclusive, true)
@@ -128,6 +136,7 @@ func (t *Tree) processDelete(a action) {
 	} else {
 		t.c.indexConsolidated.Add(1)
 	}
+	t.traceSMO(obs.EvCompleted, &a)
 
 	// Step 6: the parent may itself have become under-utilized. (Whether it
 	// is actually consolidatable — e.g. not the root — is re-checked when
@@ -279,6 +288,7 @@ func (t *Tree) processShrink(a action) {
 	t.anchor.root = child
 	t.anchor.level = root.c.Level - 1
 	t.c.shrinks.Add(1)
+	t.traceSMO(obs.EvCompleted, &a)
 	t.unlatchUnpin(root, latch.Exclusive, false)
 	t.reclaim(root.id)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 )
 
 // Cursor iterates records in key order without holding latches between
@@ -149,6 +150,8 @@ func (c *Cursor) Seek(target []byte) {
 // Scan calls fn for each record in [start, end) in key order; fn returning
 // false stops the scan. No latches are held across fn calls.
 func (t *Tree) Scan(start, end []byte, fn func(key, val []byte) bool) error {
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpScan, t0)
 	cur := t.NewCursor(start, end)
 	for {
 		k, v, ok, err := cur.Next()

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"time"
+
+	"blinktree/internal/buffer"
+	"blinktree/internal/latch"
+	"blinktree/internal/lock"
+	"blinktree/internal/obs"
+	"blinktree/internal/storage"
+)
+
+// TreeMetrics is one consistent observability snapshot of a tree: every
+// counter family the tree maintains, gathered in a single call so exporters
+// (expvar, Prometheus) do not stitch together readings from different
+// instants. Each family is internally consistent (atomic loads); families
+// are read back-to-back.
+type TreeMetrics struct {
+	Stats  Stats          // operation/SMO counters
+	Sched  SchedulerStats // maintenance scheduler
+	Latch  latch.Stats    // per-tree latch activity
+	Pool   buffer.Stats   // buffer pool
+	Store  storage.Stats  // page store
+	Locks  lock.Stats     // record lock manager
+	Height uint8          // current root level
+
+	// LogAppends/LogForces are zero when logging is disabled.
+	LogAppends uint64
+	LogForces  uint64
+
+	// Obs holds the latency histograms and trace-ring counters; nil when
+	// Options.Observability metrics are disabled.
+	Obs *obs.Snapshot
+}
+
+// Snapshot gathers the tree's full metrics in one call.
+func (t *Tree) Snapshot() TreeMetrics {
+	m := TreeMetrics{
+		Stats:  t.Stats(),
+		Sched:  t.SchedulerStats(),
+		Latch:  t.latchRec.Snapshot(),
+		Pool:   t.pool.Snapshot(),
+		Store:  t.store.Stats(),
+		Locks:  t.locks.Snapshot(),
+		Height: t.Height(),
+		Obs:    t.obs.Snapshot(),
+	}
+	m.LogAppends, m.LogForces = t.LogStats()
+	return m
+}
+
+// LatchStats returns this tree's latch activity. Unlike the deprecated
+// package-wide latch.Snapshot, it covers only this tree's latches.
+func (t *Tree) LatchStats() latch.Stats { return t.latchRec.Snapshot() }
+
+// TraceEvents returns the buffered trace events, oldest first; nil when
+// tracing is disabled.
+func (t *Tree) TraceEvents() []obs.Event { return t.obs.Events() }
+
+// Registry exposes the tree's observability registry (nil when disabled);
+// the bench harness reads histograms from it directly.
+func (t *Tree) Registry() *obs.Registry { return t.obs }
+
+// obsStart returns an operation start time, or the zero time when metrics
+// are off — the disabled path is one nil check and no clock read.
+func (t *Tree) obsStart() time.Time {
+	if t.obs.MetricsOn() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// obsOp records an operation latency started at t0 (no-op when t0 is zero).
+func (t *Tree) obsOp(op obs.Op, t0 time.Time) {
+	if !t0.IsZero() {
+		t.obs.ObserveOp(op, time.Since(t0))
+	}
+}
+
+// tracing reports whether trace events should be built and emitted.
+func (t *Tree) tracing() bool { return t.obs.TraceOn() }
+
+// obsAction maps a scheduler action kind onto its obs label.
+func obsAction(k actionKind) obs.Action {
+	switch k {
+	case actPost:
+		return obs.ActPost
+	case actDelete:
+		return obs.ActDelete
+	case actShrink:
+		return obs.ActShrink
+	default:
+		return obs.ActReclaim
+	}
+}
+
+// traceSMO emits one SMO lifecycle event for a, filling in the common
+// fields (kind label, origin page, level, node epoch).
+func (t *Tree) traceSMO(kind obs.EventKind, a *action) {
+	if !t.tracing() {
+		return
+	}
+	t.obs.Emit(obs.Event{
+		Kind:   kind,
+		Action: obsAction(a.kind),
+		Page:   uint64(a.origID),
+		Level:  a.level,
+		Epoch:  a.origEpoch,
+	})
+}
+
+// traceAbort emits an SMO abort event carrying the delete-state values that
+// caused it: the remembered value (want) versus what was observed (seen).
+func (t *Tree) traceAbort(kind obs.EventKind, a *action, want, seen uint64) {
+	if !t.tracing() {
+		return
+	}
+	e := obs.Event{
+		Kind:   kind,
+		Action: obsAction(a.kind),
+		Page:   uint64(a.origID),
+		Level:  a.level,
+		Epoch:  a.origEpoch,
+	}
+	switch kind {
+	case obs.EvAbortDX:
+		e.DXWant, e.DXSeen = want, seen
+	case obs.EvAbortDD:
+		e.DDWant, e.DDSeen = want, seen
+	}
+	t.obs.Emit(e)
+}
+
+// obsActionDone records an action-processing latency started at t0.
+func (t *Tree) obsActionDone(k actionKind, t0 time.Time) {
+	if !t0.IsZero() {
+		t.obs.ObserveAction(obsAction(k), time.Since(t0))
+	}
+}

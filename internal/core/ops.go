@@ -2,6 +2,7 @@ package core
 
 import (
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 	"blinktree/internal/wal"
 )
@@ -27,6 +28,8 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.c.searches.Add(1)
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpSearch, t0)
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Shared, dx: dx})
 	if err != nil {
@@ -68,7 +71,14 @@ func (t *Tree) Put(key, val []byte) error {
 		return err
 	}
 	t.c.inserts.Add(1)
-	_, err := t.putInternal(recOpParams{}, key, val)
+	t0 := t.obsStart()
+	_, updated, err := t.putInternal(recOpParams{}, key, val)
+	if updated {
+		t.c.updates.Add(1)
+		t.obsOp(obs.OpUpdate, t0)
+	} else {
+		t.obsOp(obs.OpInsert, t0)
+	}
 	return err
 }
 
@@ -82,18 +92,22 @@ func (t *Tree) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.c.deletes.Add(1)
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpDelete, t0)
 	_, err := t.deleteInternal(recOpParams{}, key)
 	return err
 }
 
-// putInternal traverses to the covering leaf and upserts.
-func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, error) {
+// putInternal traverses to the covering leaf and upserts. The bool result
+// reports whether an existing record was replaced (an update) rather than a
+// new one inserted.
+func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, bool, error) {
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{
 		key: key, intent: latch.Update, promote: true, dx: dx,
 	})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	return t.putOnLeaf(leaf, path, dx, lp, key, val)
 }
@@ -101,7 +115,7 @@ func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, error) {
 // putOnLeaf performs the upsert on an exclusively latched leaf (update
 // node, §3.1.3), splitting and moving right as needed. It consumes the
 // latch and pin.
-func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams, key, val []byte) (wal.LSN, error) {
+func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams, key, val []byte) (wal.LSN, bool, error) {
 	for {
 		pos, found := leaf.searchLeaf(t.cmp, key)
 		if found {
@@ -111,7 +125,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 				leaf.c.Vals[pos] = append([]byte(nil), val...)
 				lsn, err := t.logRecOp(leaf, lp, wal.OpUpdate, key, val, old)
 				t.unlatchUnpin(leaf, latch.Exclusive, true)
-				return lsn, err
+				return lsn, true, err
 			}
 		} else {
 			need := page.EntrySize(page.Leaf, len(key), len(val))
@@ -119,7 +133,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 				leaf.insertLeafAt(pos, key, val)
 				lsn, err := t.logRecOp(leaf, lp, wal.OpInsert, key, val, nil)
 				t.unlatchUnpin(leaf, latch.Exclusive, true)
-				return lsn, err
+				return lsn, false, err
 			}
 		}
 		// The record does not fit: split. The ARIES/IM comparator releases
@@ -131,27 +145,27 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 			t.unlatchUnpin(leaf, latch.Exclusive, true)
 			need := page.EntrySize(page.Leaf, len(key), len(val))
 			if err := t.serializedSplit(key, need); err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			var err error
 			leaf, path, err = t.traverse(traverseOpts{
 				key: key, intent: latch.Update, promote: true, dx: dx,
 			})
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			continue
 		}
 		parent, dd := parentFromPath(path)
 		if err := t.splitLocked(leaf, parent, dd, dx); err != nil {
 			t.unlatchUnpin(leaf, latch.Exclusive, true)
-			return 0, err
+			return 0, false, err
 		}
 		if leaf.pastHigh(t.cmp, key) {
 			right, err := t.pinLatch(leaf.c.Right, latch.Exclusive)
 			t.unlatchUnpin(leaf, latch.Exclusive, true)
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			leaf = right
 		}

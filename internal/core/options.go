@@ -1,6 +1,7 @@
 package core
 
 import (
+	"blinktree/internal/obs"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
@@ -106,6 +107,11 @@ type Options struct {
 	// against it. This mimics a naive "one delete counter" design and
 	// should abort far more postings under leaf-delete load.
 	SingleDeleteState bool
+
+	// Observability enables per-operation latency histograms and/or the
+	// SMO lifecycle trace ring (see obs.Config). Nil disables both: the
+	// instrumentation collapses to a nil-pointer check on the hot paths.
+	Observability *obs.Config
 }
 
 // withDefaults fills unset fields.

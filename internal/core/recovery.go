@@ -212,9 +212,9 @@ func (t *Tree) undoLoser(a *wal.Analysis, txn uint64) error {
 				err = nil
 			}
 		case wal.OpDelete:
-			lsn, err = t.putInternal(lp, r.Key, r.OldVal)
+			lsn, _, err = t.putInternal(lp, r.Key, r.OldVal)
 		case wal.OpUpdate:
-			lsn, err = t.putInternal(lp, r.Key, r.OldVal)
+			lsn, _, err = t.putInternal(lp, r.Key, r.OldVal)
 		}
 		if err != nil {
 			return fmt.Errorf("blinktree: undo txn %d op at LSN %d: %w", txn, r.LSN, err)

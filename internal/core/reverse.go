@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 )
 
 // Backward iteration (§3.1.4: the cursor "shifts forward or backward as
@@ -200,6 +201,8 @@ func (c *ReverseCursor) Next() (key, val []byte, ok bool, err error) {
 // ScanReverse calls fn for each record in [low, high) in descending key
 // order; fn returning false stops the scan.
 func (t *Tree) ScanReverse(low, high []byte, fn func(key, val []byte) bool) error {
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpScan, t0)
 	cur := t.NewReverseCursor(low, high)
 	for {
 		k, v, ok, err := cur.Next()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 	"blinktree/internal/wal"
 )
@@ -64,6 +65,8 @@ func (t *Tree) serializedSplit(key []byte, need int) error {
 // stays search-correct and the need is re-discovered (§2.3).
 func (t *Tree) processAction(a action) {
 	t.c.todoProcessed.Add(1)
+	t.traceSMO(obs.EvStarted, &a)
+	t0 := t.obsStart()
 	switch a.kind {
 	case actPost:
 		t.processPost(a)
@@ -74,6 +77,7 @@ func (t *Tree) processAction(a action) {
 	case actReclaim:
 		t.reclaimAction(a)
 	}
+	t.obsActionDone(a.kind, t0)
 }
 
 // accessParent implements the paper's access parent routine (A.3): it
@@ -93,8 +97,9 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 		// test it. If any index node was deleted since the action was
 		// remembered, the parent may be gone: abandon.
 		t.dx.l.Acquire(dxMode)
-		if t.dx.v.Load() != a.dx {
+		if seen := t.dx.v.Load(); seen != a.dx {
 			t.dx.l.Release(dxMode)
+			t.traceAbort(obs.EvAbortDX, a, a.dx, seen)
 			return nil, errDeleteState
 		}
 		// Step 3: an index-node delete updates D_X now, before the
@@ -112,6 +117,7 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 		if checkState {
 			t.dx.l.Release(dxMode)
 		}
+		t.traceAbort(obs.EvAbortIdentity, a, 0, 0)
 		return nil, errDeleteState
 	}
 	p.latch.Acquire(latch.Update)
@@ -123,6 +129,7 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 	// incarnation (closes the recycled-page ABA window; DESIGN.md).
 	if p.dead || p.c.Epoch != a.parent.epoch || p.c.Level != a.level+1 {
 		t.unlatchUnpin(p, latch.Update, false)
+		t.traceAbort(obs.EvAbortIdentity, a, 0, 0)
 		return nil, errIdentity
 	}
 
@@ -137,10 +144,12 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 		q, err := t.pinLatch(sib, latch.Update)
 		t.unlatchUnpin(p, latch.Update, false)
 		if err != nil {
+			t.traceAbort(obs.EvAbortIdentity, a, 0, 0)
 			return nil, errDeleteState
 		}
 		if q.dead {
 			t.unlatchUnpin(q, latch.Update, false)
+			t.traceAbort(obs.EvAbortIdentity, a, 0, 0)
 			return nil, errDeleteState
 		}
 		p = q
@@ -167,8 +176,9 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 	if checkState {
 		if t.opts.SingleDeleteState {
 			// Ablation: verify every post against the global counter.
-			if t.dx.v.Load() != a.dx {
+			if seen := t.dx.v.Load(); seen != a.dx {
 				t.unlatchUnpin(p, latch.Update, false)
+				t.traceAbort(obs.EvAbortDX, a, a.dx, seen)
 				return nil, errDeleteState
 			}
 		} else if a.level == 0 {
@@ -176,12 +186,14 @@ func (t *Tree) accessParent(a *action, forDelete bool) (*node, error) {
 			// D_D (or a value copied forward through parent splits).
 			if p.c.DD != a.dd {
 				t.unlatchUnpin(p, latch.Update, false)
+				t.traceAbort(obs.EvAbortDD, a, a.dd, p.c.DD)
 				return nil, errDDChanged
 			}
 		} else {
 			// Index node: re-check D_X (step 7b).
-			if t.dx.v.Load() != a.dx {
+			if seen := t.dx.v.Load(); seen != a.dx {
 				t.unlatchUnpin(p, latch.Update, false)
+				t.traceAbort(obs.EvAbortDX, a, a.dx, seen)
 				return nil, errDeleteState
 			}
 		}
@@ -225,6 +237,7 @@ func (t *Tree) postInto(p *node, a action) {
 		if p.findChild(a.newID) >= 0 {
 			t.c.postsDuplicate.Add(1)
 			t.unlatchUnpin(p, latch.Exclusive, false)
+			t.traceSMO(obs.EvCompleted, &a)
 			return
 		}
 		// A term with the same key but a different child means the key
@@ -233,6 +246,7 @@ func (t *Tree) postInto(p *node, a action) {
 		if i, _ := p.searchIndexKey(t.cmp, a.sep); i {
 			t.c.postsDuplicate.Add(1)
 			t.unlatchUnpin(p, latch.Exclusive, false)
+			t.traceSMO(obs.EvCompleted, &a)
 			return
 		}
 		need := page.EntrySize(page.Index, len(a.sep), 0)
@@ -241,6 +255,7 @@ func (t *Tree) postInto(p *node, a action) {
 			t.logPost(p)
 			t.c.postsDone.Add(1)
 			t.unlatchUnpin(p, latch.Exclusive, true)
+			t.traceSMO(obs.EvCompleted, &a)
 			return
 		}
 		// The parent itself is full: split it (a separate atomic action,
@@ -375,4 +390,5 @@ func (t *Tree) growLocked(a action) {
 	t.c.grows.Add(1)
 	t.c.postsDone.Add(1)
 	t.pool.Unpin(root.id, true)
+	t.traceSMO(obs.EvCompleted, &a)
 }

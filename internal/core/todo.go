@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 )
 
@@ -294,6 +295,7 @@ func (q *todoQueue) enqueue(a action) {
 	sh.pending[key] = struct{}{}
 	sh.push(a)
 	sh.mu.Unlock()
+	q.t.traceSMO(obs.EvEnqueued, &a)
 	q.bumpQueued()
 	q.wakeWaiters()
 }
@@ -316,6 +318,7 @@ func (q *todoQueue) requeue(a action) {
 	// the same key here keeps the slot occupied.
 	sh.push(a)
 	sh.mu.Unlock()
+	q.t.traceSMO(obs.EvRequeued, &a)
 	q.bumpQueued()
 	q.wakeWaiters()
 }
@@ -490,6 +493,7 @@ func (q *todoQueue) drain() {
 			}
 			if spins > q.drainSpinLimit {
 				q.t.c.drainBailouts.Add(1)
+				q.t.traceSMO(obs.EvDrainBailout, &a)
 				return
 			}
 		} else {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 )
 
@@ -394,5 +395,180 @@ func TestSchedulerStatsSnapshot(t *testing.T) {
 	}
 	if processed != tr.Stats().TodoProcessed {
 		t.Fatalf("latency histogram total %d != processed %d", processed, tr.Stats().TodoProcessed)
+	}
+}
+
+// TestTraceEventOrdering runs a concurrent insert/delete workload with the
+// trace ring enabled and checks the SMO lifecycle invariant: every terminal
+// event (completed or any abort/skip) for an action is preceded by a started
+// event for the same action kind and origin page, and sequence numbers are
+// strictly increasing.
+func TestTraceEventOrdering(t *testing.T) {
+	if !obs.Compiled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	tr := newTestTree(t, Options{
+		PageSize: 512, Workers: 2, TodoShards: 4,
+		Observability: &obs.Config{Metrics: true, Trace: true, TraceCapacity: 1 << 16},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := key(g*300 + i)
+				if err := tr.Put(k, valb(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					tr.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.DrainTodo()
+
+	snap := tr.Registry().Snapshot()
+	if snap.TraceDropped != 0 {
+		t.Fatalf("ring dropped %d events; raise TraceCapacity", snap.TraceDropped)
+	}
+	events := tr.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events from a splitting workload")
+	}
+
+	type akey struct {
+		act  obs.Action
+		page uint64
+	}
+	started := map[akey]int{}
+	terminal := map[akey]int{}
+	var sawStarted, sawCompleted bool
+	for i, e := range events {
+		if i > 0 && e.Seq <= events[i-1].Seq {
+			t.Fatalf("event %d: seq %d not after %d", i, e.Seq, events[i-1].Seq)
+		}
+		k := akey{e.Action, e.Page}
+		switch e.Kind {
+		case obs.EvStarted:
+			sawStarted = true
+			started[k]++
+		case obs.EvCompleted, obs.EvAbortDX, obs.EvAbortDD, obs.EvAbortIdentity,
+			obs.EvAbortEdge, obs.EvSkipFit:
+			if e.Kind == obs.EvCompleted {
+				sawCompleted = true
+			}
+			terminal[k]++
+			if started[k] < terminal[k] {
+				t.Fatalf("event %d: %s for %s page %d with no preceding started",
+					i, e.Kind, e.Action, e.Page)
+			}
+		}
+	}
+	if !sawStarted || !sawCompleted {
+		t.Fatalf("lifecycle kinds missing: started=%v completed=%v", sawStarted, sawCompleted)
+	}
+	mustVerify(t, tr)
+}
+
+// takePostWithParent inserts until the to-do queue holds a post action whose
+// remembered parent is a real node (not the root-grow special case), then
+// pops and returns it.
+func takePostWithParent(t *testing.T, tr *Tree) action {
+	t.Helper()
+	for i := 0; i < 50_000; i++ {
+		if err := tr.Put(key(i), valb(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			tr.DrainTodo() // grow the tree so later splits have real parents
+		}
+		for _, a := range tr.todo.takeAll() {
+			if a.kind == actPost && a.parent.id != 0 {
+				return a
+			}
+			tr.processAction(a)
+		}
+	}
+	t.Fatal("no post action with a real parent appeared")
+	return action{}
+}
+
+// TestTraceAbortCarriesDXValues forces a D_X abort deterministically and
+// checks the event records both the remembered and the observed counter.
+func TestTraceAbortCarriesDXValues(t *testing.T) {
+	if !obs.Compiled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	tr := newTestTree(t, Options{
+		PageSize: 512, Workers: WorkersNone,
+		Observability: &obs.Config{Trace: true, TraceCapacity: 1 << 16},
+	})
+	a := takePostWithParent(t, tr)
+	a.dx += 7 // stale remembered D_X: access parent must abandon at step 2
+	tr.processAction(a)
+
+	events := tr.TraceEvents()
+	var ev *obs.Event
+	for i := range events {
+		if events[i].Kind == obs.EvAbortDX && events[i].Page == uint64(a.origID) {
+			ev = &events[i]
+		}
+	}
+	if ev == nil {
+		t.Fatal("no abort-dx event recorded")
+	}
+	if ev.DXWant != a.dx {
+		t.Errorf("DXWant = %d, want %d", ev.DXWant, a.dx)
+	}
+	if ev.DXSeen != tr.DX() {
+		t.Errorf("DXSeen = %d, want observed %d", ev.DXSeen, tr.DX())
+	}
+	if ev.DXWant == ev.DXSeen {
+		t.Error("abort event shows no delete-state change")
+	}
+	if got := tr.Stats().PostsAbortDX; got != 1 {
+		t.Errorf("PostsAbortDX = %d, want 1", got)
+	}
+}
+
+// TestTraceAbortCarriesDDValues forces a D_D abort (leaf-level post against
+// a parent whose data-delete state moved) and checks the recorded values.
+func TestTraceAbortCarriesDDValues(t *testing.T) {
+	if !obs.Compiled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	tr := newTestTree(t, Options{
+		PageSize: 512, Workers: WorkersNone,
+		Observability: &obs.Config{Trace: true, TraceCapacity: 1 << 16},
+	})
+	a := takePostWithParent(t, tr)
+	if a.level != 0 {
+		t.Fatalf("expected a leaf-level post, got level %d", a.level)
+	}
+	a.dd += 3 // remembered D_D no longer matches the parent's counter
+	tr.processAction(a)
+
+	events := tr.TraceEvents()
+	var ev *obs.Event
+	for i := range events {
+		if events[i].Kind == obs.EvAbortDD && events[i].Page == uint64(a.origID) {
+			ev = &events[i]
+		}
+	}
+	if ev == nil {
+		t.Fatal("no abort-dd event recorded")
+	}
+	if ev.DDWant != a.dd {
+		t.Errorf("DDWant = %d, want %d", ev.DDWant, a.dd)
+	}
+	if ev.DDSeen == ev.DDWant {
+		t.Error("abort event shows no delete-state change")
+	}
+	if got := tr.Stats().PostsAbortDD; got != 1 {
+		t.Errorf("PostsAbortDD = %d, want 1", got)
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blinktree/internal/buffer"
 	"blinktree/internal/latch"
 	"blinktree/internal/lock"
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
@@ -67,6 +69,15 @@ type Tree struct {
 	todo   *todoQueue
 	c      counters
 
+	// obs is the observability registry; nil (the common case) means
+	// metrics and tracing are off and every hook is a nil check.
+	obs *obs.Registry
+
+	// latchRec receives latch statistics from every latch this tree owns
+	// (node latches, the D_X latch), keeping trees in one process from
+	// polluting each other's numbers.
+	latchRec latch.Recorder
+
 	// epochGen issues node incarnation numbers in non-logged mode; with
 	// logging, epochs are SMO record LSNs (monotone across crashes).
 	epochGen atomic.Uint64
@@ -103,15 +114,17 @@ type drainEntry struct {
 }
 
 // codec deserializes page images into nodes for the buffer pool.
-type codec struct{}
+type codec struct{ t *Tree }
 
 // Unmarshal implements buffer.Codec.
-func (codec) Unmarshal(data []byte) (buffer.Object, error) {
+func (cd codec) Unmarshal(data []byte) (buffer.Object, error) {
 	c, err := page.Unmarshal(data)
 	if err != nil {
 		return nil, err
 	}
-	return &node{id: c.ID, c: *c}, nil
+	n := &node{id: c.ID, c: *c}
+	n.latch.SetRecorder(&cd.t.latchRec)
+	return n, nil
 }
 
 // New creates a tree. With a LogDevice holding an existing log, the tree is
@@ -135,14 +148,44 @@ func New(opts Options) (*Tree, error) {
 		t.bytewise = true
 	}
 	t.active.m = make(map[uint64]*Txn)
+
+	// Observability: resolve the config (the obstrace build tag forces full
+	// tracing; the obsoff tag compiles all of it out), then point every
+	// subsystem's observer hook at the registry.
+	if obs.Compiled {
+		var cfg obs.Config
+		if opts.Observability != nil {
+			cfg = *opts.Observability
+		}
+		if obs.ForceTrace {
+			cfg.Metrics = true
+			cfg.Trace = true
+		}
+		t.obs = obs.New(cfg)
+	}
+	t.dx.l.SetRecorder(&t.latchRec)
+	latch.RegisterRecorder(&t.latchRec)
+	if t.obs != nil {
+		t.latchRec.SetLongWaitCallback(t.obs.LatchWaitThreshold(), t.obs.ObserveLongWait)
+		t.locks.SetWaitObserver(func(_ lock.Resource, d time.Duration, _ bool) {
+			t.obs.ObserveLockWait(d)
+		})
+	}
+
 	if opts.LogDevice != nil {
 		log, err := wal.NewLog(opts.LogDevice)
 		if err != nil {
 			return nil, fmt.Errorf("blinktree: opening log: %w", err)
 		}
 		t.log = log
+		if t.obs != nil {
+			t.log.SetObserver(t.obs)
+		}
 	}
-	t.pool = buffer.NewPool(t.store, t.log, codec{}, opts.CacheSize)
+	t.pool = buffer.NewPool(t.store, t.log, codec{t}, opts.CacheSize)
+	if t.obs != nil {
+		t.pool.SetObserver(t.obs)
+	}
 	t.todo = newTodoQueue(t, opts.Workers)
 
 	recovered := false
@@ -250,6 +293,7 @@ func (t *Tree) allocNode(c page.Content) (*node, error) {
 		c.Epoch = t.epochGen.Add(1)
 	}
 	n := newNode(id, c)
+	n.latch.SetRecorder(&t.latchRec)
 	if err := t.pool.Insert(id, n); err != nil {
 		derr := t.store.Deallocate(id)
 		if derr != nil {
@@ -292,7 +336,9 @@ func (t *Tree) reclaimAction(a action) {
 	if !ok {
 		t.c.reclaimRetry.Add(1)
 		t.todo.requeue(a)
+		return
 	}
+	t.traceSMO(obs.EvCompleted, &a)
 }
 
 // Stats returns a snapshot of the tree's activity counters.
@@ -399,6 +445,7 @@ func (t *Tree) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	latch.UnregisterRecorder(&t.latchRec)
 	t.todo.stop()
 	if t.log != nil {
 		if err := t.pool.FlushAll(); err != nil {
@@ -426,6 +473,7 @@ func (t *Tree) FlushLog() error {
 // device to exercise recovery.
 func (t *Tree) Abandon() {
 	t.closed.Store(true)
+	latch.UnregisterRecorder(&t.latchRec)
 	t.todo.stop()
 }
 

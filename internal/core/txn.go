@@ -8,6 +8,7 @@ import (
 
 	"blinktree/internal/latch"
 	"blinktree/internal/lock"
+	"blinktree/internal/obs"
 	"blinktree/internal/wal"
 )
 
@@ -222,7 +223,7 @@ func (t *Tree) compensate(x *Txn, u undoRec) error {
 			err = nil // already gone; compensation is idempotent
 		}
 	case wal.OpDelete, wal.OpUpdate:
-		lsn, err = t.putInternal(lp, u.key, u.oldVal)
+		lsn, _, err = t.putInternal(lp, u.key, u.oldVal)
 	}
 	if err != nil {
 		return err
@@ -265,6 +266,9 @@ func (x *Txn) lockWithLatch(leaf *node, path []pathEntry, dx uint64, key []byte,
 	}
 	// Denied: give up the latch, wait for the lock, then re-latch.
 	t.c.noWaitDenied.Add(1)
+	if t.tracing() {
+		t.obs.Emit(obs.Event{Kind: obs.EvLockNoWait, Page: uint64(leaf.id), Level: leaf.level()})
+	}
 	relMode := latchMode
 	if promote {
 		relMode = latch.Exclusive // traverse promoted before returning
@@ -275,6 +279,9 @@ func (x *Txn) lockWithLatch(leaf *node, path []pathEntry, dx uint64, key []byte,
 		// Deadlock victim: roll back (the surrounding operation still
 		// holds the checkpoint gate).
 		t.c.txnDeadlocks.Add(1)
+		if t.tracing() {
+			t.obs.Emit(obs.Event{Kind: obs.EvDeadlockVictim, Epoch: x.id})
+		}
 		if aerr := x.abortLocked(true); aerr != nil {
 			return nil, nil, aerr
 		}
@@ -284,6 +291,9 @@ func (x *Txn) lockWithLatch(leaf *node, path []pathEntry, dx uint64, key []byte,
 	if err != nil {
 		// D_X changed while we waited: abort (paper §2.4). Rare.
 		t.c.txnAbortsDX.Add(1)
+		if t.tracing() {
+			t.obs.Emit(obs.Event{Kind: obs.EvRelatchAbort, DXWant: dx, DXSeen: t.dx.v.Load(), Epoch: x.id})
+		}
 		if aerr := x.abortLocked(true); aerr != nil {
 			return nil, nil, aerr
 		}
@@ -308,6 +318,8 @@ func (x *Txn) Get(key []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.c.searches.Add(1)
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpSearch, t0)
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Shared, dx: dx})
 	if err != nil {
@@ -346,6 +358,7 @@ func (x *Txn) Put(key, val []byte) error {
 		return err
 	}
 	t.c.inserts.Add(1)
+	t0 := t.obsStart()
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx})
 	if err != nil {
@@ -362,9 +375,15 @@ func (x *Txn) Put(key, val []byte) error {
 		op = wal.OpUpdate
 		old = append([]byte(nil), leaf.c.Vals[pos]...)
 	}
-	lsn, err := t.putOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last()}, key, val)
+	lsn, updated, err := t.putOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last()}, key, val)
 	if err != nil {
 		return err
+	}
+	if updated {
+		t.c.updates.Add(1)
+		t.obsOp(obs.OpUpdate, t0)
+	} else {
+		t.obsOp(obs.OpInsert, t0)
 	}
 	x.record(op, key, old, lsn)
 	return nil
@@ -386,6 +405,8 @@ func (x *Txn) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.c.deletes.Add(1)
+	t0 := t.obsStart()
+	defer t.obsOp(obs.OpDelete, t0)
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx})
 	if err != nil {

@@ -17,7 +17,10 @@
 // state latch ordered before any node latch).
 package latch
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Mode identifies a latch mode.
 type Mode uint8
@@ -80,6 +83,22 @@ type Latch struct {
 	// waitingX counts blocked X requesters; new S requests defer to them so
 	// writers are not starved by a stream of readers.
 	waitingX int
+
+	// rec is the statistics sink; nil falls back to the package globals.
+	// Set once (SetRecorder) before the latch sees traffic.
+	rec *Recorder
+}
+
+// SetRecorder directs the latch's statistics to r (a per-tree sink). It
+// must be called before the latch is shared between goroutines.
+func (l *Latch) SetRecorder(r *Recorder) { l.rec = r }
+
+// sink returns the latch's statistics sink.
+func (l *Latch) sink() *Recorder {
+	if l.rec != nil {
+		return l.rec
+	}
+	return &global
 }
 
 func (l *Latch) init() {
@@ -125,9 +144,12 @@ func (l *Latch) Acquire(m Mode) {
 	if l.canGrant(m) {
 		l.grantLocked(m)
 		l.mu.Unlock()
-		recordAcquire(m, false)
+		l.sink().recordAcquire(m, 0, false)
 		return
 	}
+	// Blocked: the wait itself dwarfs the pair of clock reads, so measuring
+	// here costs nothing on the fast path above.
+	t0 := time.Now()
 	if m == Exclusive {
 		l.waitingX++
 	}
@@ -139,7 +161,7 @@ func (l *Latch) Acquire(m Mode) {
 	}
 	l.grantLocked(m)
 	l.mu.Unlock()
-	recordAcquire(m, true)
+	l.sink().recordAcquire(m, time.Since(t0), true)
 }
 
 // TryAcquire attempts to acquire a latch in mode m without blocking and
@@ -156,9 +178,9 @@ func (l *Latch) TryAcquire(m Mode) bool {
 	}
 	l.mu.Unlock()
 	if ok {
-		recordAcquire(m, false)
+		l.sink().recordAcquire(m, 0, false)
 	} else {
-		recordTryFail(m)
+		l.sink().recordTryFail()
 	}
 	return ok
 }
@@ -215,7 +237,7 @@ func (l *Latch) Promote() {
 	l.promoting = false
 	l.excl = true
 	l.mu.Unlock()
-	recordPromote()
+	l.sink().recordPromote()
 }
 
 // TryPromote upgrades Update to Exclusive only if no readers are present,
@@ -235,7 +257,7 @@ func (l *Latch) TryPromote() bool {
 	l.update = false
 	l.excl = true
 	l.mu.Unlock()
-	recordPromote()
+	l.sink().recordPromote()
 	return true
 }
 

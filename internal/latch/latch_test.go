@@ -346,3 +346,58 @@ func TestStatsCounting(t *testing.T) {
 		t.Fatalf("ResetStats did not zero: %+v", s)
 	}
 }
+
+func TestRecorderSink(t *testing.T) {
+	ResetStats()
+	var rec Recorder
+	var longWaits atomic.Uint64
+	rec.SetLongWaitCallback(time.Nanosecond, func(d time.Duration) {
+		if d < time.Nanosecond {
+			t.Errorf("long-wait callback with d=%v", d)
+		}
+		longWaits.Add(1)
+	})
+	var l Latch
+	l.SetRecorder(&rec)
+
+	l.Acquire(Exclusive)
+	done := make(chan struct{})
+	go func() {
+		l.Acquire(Shared) // must block, then wait ≥1ns
+		l.Release(Shared)
+		close(done)
+	}()
+	// Let the reader reach the wait loop, then release.
+	for {
+		if s := rec.Snapshot(); s.AcquireExclusive == 1 {
+			break
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	l.Release(Exclusive)
+	<-done
+
+	s := rec.Snapshot()
+	if s.AcquireShared != 1 || s.AcquireExclusive != 1 {
+		t.Fatalf("recorder acquire counts = %+v", s)
+	}
+	if s.Waits != 1 || s.WaitNanos == 0 {
+		t.Fatalf("recorder waits = %+v", s)
+	}
+	if s.LongWaits != 1 || longWaits.Load() != 1 {
+		t.Fatalf("long waits = %d, callback = %d", s.LongWaits, longWaits.Load())
+	}
+	// Recorder traffic stays out of the globals but shows in the registered
+	// aggregate.
+	if g := global.Snapshot(); g.AcquireShared != 0 || g.AcquireExclusive != 0 {
+		t.Fatalf("global polluted: %+v", g)
+	}
+	RegisterRecorder(&rec)
+	if agg := Snapshot(); agg.AcquireShared != 1 || agg.Waits != 1 {
+		t.Fatalf("aggregate missing recorder: %+v", agg)
+	}
+	UnregisterRecorder(&rec)
+	if agg := Snapshot(); agg.AcquireShared != 0 {
+		t.Fatalf("aggregate after unregister: %+v", agg)
+	}
+}

@@ -1,65 +1,171 @@
 package latch
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
-// Stats aggregates package-wide latch activity. Counters are maintained with
-// atomics and are cheap enough to keep always-on; the experiment harness uses
-// them to report latch waits and no-wait failures (paper §2.4).
+// Stats aggregates latch activity. Counters are maintained with atomics and
+// are cheap enough to keep always-on; the experiment harness uses them to
+// report latch waits and no-wait failures (paper §2.4).
 type Stats struct {
 	AcquireShared    uint64 // granted S requests
 	AcquireUpdate    uint64 // granted U requests
 	AcquireExclusive uint64 // granted X requests
 	Waits            uint64 // blocking acquisitions that had to wait
+	WaitNanos        uint64 // total nanoseconds spent blocked
+	LongWaits        uint64 // waits at or above the recorder's threshold
 	TryFailures      uint64 // TryAcquire calls that were refused
 	Promotions       uint64 // U→X promotions
 }
 
-var stats struct {
-	acquireS atomic.Uint64
-	acquireU atomic.Uint64
-	acquireX atomic.Uint64
-	waits    atomic.Uint64
-	tryFail  atomic.Uint64
-	promote  atomic.Uint64
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.AcquireShared += o.AcquireShared
+	s.AcquireUpdate += o.AcquireUpdate
+	s.AcquireExclusive += o.AcquireExclusive
+	s.Waits += o.Waits
+	s.WaitNanos += o.WaitNanos
+	s.LongWaits += o.LongWaits
+	s.TryFailures += o.TryFailures
+	s.Promotions += o.Promotions
 }
 
-func recordAcquire(m Mode, waited bool) {
+// Recorder is a per-tree (or per-subsystem) latch statistics sink. Latches
+// carrying a Recorder count into it instead of the package-global counters,
+// so two trees in one process no longer pollute each other's numbers. The
+// zero value is ready for use.
+type Recorder struct {
+	acquireS  atomic.Uint64
+	acquireU  atomic.Uint64
+	acquireX  atomic.Uint64
+	waits     atomic.Uint64
+	waitNanos atomic.Uint64
+	longWaits atomic.Uint64
+	tryFail   atomic.Uint64
+	promote   atomic.Uint64
+
+	// threshold/onLongWait are set once before the recorder sees traffic
+	// (SetLongWaitCallback); a wait of at least threshold is counted in
+	// longWaits and reported to onLongWait.
+	threshold time.Duration
+	onLong    func(d time.Duration)
+}
+
+// SetLongWaitCallback arms long-wait accounting: blocking acquisitions that
+// wait at least threshold are counted and, when fn is non-nil, reported to
+// it. Must be called before the recorder's latches see traffic.
+func (r *Recorder) SetLongWaitCallback(threshold time.Duration, fn func(d time.Duration)) {
+	r.threshold = threshold
+	r.onLong = fn
+}
+
+func (r *Recorder) recordAcquire(m Mode, waited time.Duration, blocked bool) {
 	switch m {
 	case Shared:
-		stats.acquireS.Add(1)
+		r.acquireS.Add(1)
 	case Update:
-		stats.acquireU.Add(1)
+		r.acquireU.Add(1)
 	case Exclusive:
-		stats.acquireX.Add(1)
+		r.acquireX.Add(1)
 	}
-	if waited {
-		stats.waits.Add(1)
+	if !blocked {
+		return
+	}
+	r.waits.Add(1)
+	r.waitNanos.Add(uint64(waited))
+	if r.threshold > 0 && waited >= r.threshold {
+		r.longWaits.Add(1)
+		if r.onLong != nil {
+			r.onLong(waited)
+		}
 	}
 }
 
-func recordTryFail(Mode) { stats.tryFail.Add(1) }
-func recordPromote()     { stats.promote.Add(1) }
+func (r *Recorder) recordTryFail() { r.tryFail.Add(1) }
+func (r *Recorder) recordPromote() { r.promote.Add(1) }
 
-// Snapshot returns the current package-wide latch statistics.
-func Snapshot() Stats {
+// Snapshot returns the recorder's current statistics.
+func (r *Recorder) Snapshot() Stats {
 	return Stats{
-		AcquireShared:    stats.acquireS.Load(),
-		AcquireUpdate:    stats.acquireU.Load(),
-		AcquireExclusive: stats.acquireX.Load(),
-		Waits:            stats.waits.Load(),
-		TryFailures:      stats.tryFail.Load(),
-		Promotions:       stats.promote.Load(),
+		AcquireShared:    r.acquireS.Load(),
+		AcquireUpdate:    r.acquireU.Load(),
+		AcquireExclusive: r.acquireX.Load(),
+		Waits:            r.waits.Load(),
+		WaitNanos:        r.waitNanos.Load(),
+		LongWaits:        r.longWaits.Load(),
+		TryFailures:      r.tryFail.Load(),
+		Promotions:       r.promote.Load(),
 	}
 }
 
-// ResetStats zeroes the package-wide latch statistics. Intended for use
-// between benchmark runs; concurrent latch traffic during the reset may be
-// partially counted.
+// reset zeroes the recorder.
+func (r *Recorder) reset() {
+	r.acquireS.Store(0)
+	r.acquireU.Store(0)
+	r.acquireX.Store(0)
+	r.waits.Store(0)
+	r.waitNanos.Store(0)
+	r.longWaits.Store(0)
+	r.tryFail.Store(0)
+	r.promote.Store(0)
+}
+
+// global receives activity from latches without a Recorder, preserving the
+// old package-wide behaviour.
+var global Recorder
+
+// registry tracks live Recorders so the deprecated package Snapshot can
+// still report a process-wide aggregate.
+var registry struct {
+	mu   sync.Mutex
+	recs map[*Recorder]struct{}
+}
+
+// RegisterRecorder includes r in the deprecated package-wide Snapshot
+// aggregate. Trees register their recorder on open.
+func RegisterRecorder(r *Recorder) {
+	registry.mu.Lock()
+	if registry.recs == nil {
+		registry.recs = make(map[*Recorder]struct{})
+	}
+	registry.recs[r] = struct{}{}
+	registry.mu.Unlock()
+}
+
+// UnregisterRecorder removes r from the package-wide aggregate.
+func UnregisterRecorder(r *Recorder) {
+	registry.mu.Lock()
+	delete(registry.recs, r)
+	registry.mu.Unlock()
+}
+
+// Snapshot returns process-wide latch statistics: recorder-less latches
+// plus every registered Recorder.
+//
+// Deprecated: the package-global view mixes every tree in the process; use
+// a per-tree Recorder (core.Tree.LatchStats) instead.
+func Snapshot() Stats {
+	s := global.Snapshot()
+	registry.mu.Lock()
+	for r := range registry.recs {
+		s.add(r.Snapshot())
+	}
+	registry.mu.Unlock()
+	return s
+}
+
+// ResetStats zeroes the package-wide statistics, including every registered
+// Recorder. Concurrent latch traffic during the reset may be partially
+// counted.
+//
+// Deprecated: use a per-tree Recorder and snapshot deltas instead.
 func ResetStats() {
-	stats.acquireS.Store(0)
-	stats.acquireU.Store(0)
-	stats.acquireX.Store(0)
-	stats.waits.Store(0)
-	stats.tryFail.Store(0)
-	stats.promote.Store(0)
+	global.reset()
+	registry.mu.Lock()
+	for r := range registry.recs {
+		r.reset()
+	}
+	registry.mu.Unlock()
 }

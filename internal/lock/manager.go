@@ -75,6 +75,17 @@ type Manager struct {
 	denials   atomic.Uint64
 	waits     atomic.Uint64
 	deadlocks atomic.Uint64
+
+	// waitObs, when set, is told how long each blocking request waited and
+	// whether it ended as a deadlock victim. Set once (SetWaitObserver)
+	// before the manager sees traffic.
+	waitObs func(res Resource, d time.Duration, deadlock bool)
+}
+
+// SetWaitObserver installs fn as the manager's wait observer. It must be
+// called before the manager is shared between goroutines.
+func (m *Manager) SetWaitObserver(fn func(res Resource, d time.Duration, deadlock bool)) {
+	m.waitObs = fn
 }
 
 // NewManager returns an empty lock manager.
@@ -197,6 +208,16 @@ func (m *Manager) lock(owner Owner, res Resource, mode Mode, wait bool) error {
 // concurrent blocker are eventually observed by someone in the cycle.
 func (m *Manager) wait(owner Owner, res Resource, w *waiter) error {
 	m.waits.Add(1)
+	if m.waitObs == nil {
+		return m.waitOn(owner, res, w)
+	}
+	t0 := time.Now()
+	err := m.waitOn(owner, res, w)
+	m.waitObs(res, time.Since(t0), err == ErrDeadlock)
+	return err
+}
+
+func (m *Manager) waitOn(owner Owner, res Resource, w *waiter) error {
 	timer := time.NewTimer(0) // first detection happens right away
 	defer timer.Stop()
 	for {

@@ -1,0 +1,9 @@
+//go:build !obsoff
+
+package obs
+
+// Compiled reports whether observability instrumentation is compiled in.
+// Building with -tags obsoff sets it to false: every instrumentation site
+// is guarded by this constant, so the compiler removes the code entirely,
+// producing the uninstrumented baseline CI's overhead gate compares against.
+const Compiled = true

@@ -1,0 +1,7 @@
+//go:build obsoff
+
+package obs
+
+// Compiled is false under -tags obsoff: instrumentation sites guarded by it
+// become dead code and are compiled out.
+const Compiled = false

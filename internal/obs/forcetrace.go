@@ -1,0 +1,8 @@
+//go:build !obstrace
+
+package obs
+
+// ForceTrace is true under -tags obstrace: every tree is opened with full
+// metrics and tracing regardless of Options.Observability, so the whole test
+// suite exercises the instrumented paths (CI runs it with -race).
+const ForceTrace = false

@@ -1,0 +1,7 @@
+//go:build obstrace
+
+package obs
+
+// ForceTrace forces full metrics and tracing on every tree (see the
+// !obstrace variant).
+const ForceTrace = true

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of latency buckets. Bucket i counts durations
+// in [256ns<<(i-1), 256ns<<i) (bucket 0 is everything below 256ns); the
+// last bucket is unbounded. 26 buckets reach ~4.3s, beyond any latency the
+// tree can legitimately produce outside a stall worth seeing whole.
+const HistBuckets = 26
+
+// Histogram is a lock-free fixed-bucket latency histogram with exponential
+// (power-of-two) bucket bounds. The zero value is ready for use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := uint64(d)
+	if ns < 256 {
+		return 0
+	}
+	b := bits.Len64(ns) - 8 // 256 = 1<<8 → bucket 1 starts at Len 9
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// bucketBound returns bucket i's exclusive upper bound; the last bucket has
+// no bound and reports the largest finite one.
+func bucketBound(i int) time.Duration {
+	if i >= HistBuckets-1 {
+		i = HistBuckets - 2
+	}
+	return time.Duration(256) << uint(i)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Snapshot copies the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64 // total nanoseconds
+}
+
+// BucketBound returns bucket i's exclusive upper bound (see bucketFor); the
+// unbounded last bucket reports the largest finite bound.
+func (HistogramSnapshot) BucketBound(i int) time.Duration { return bucketBound(i) }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it — a conservative (never understated) estimate.
+// Zero when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(HistBuckets - 1)
+}
+
+// Mean returns the average observed duration, zero when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Merge returns the bucket-wise sum of s and o.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return s
+}
+
+// Delta returns s minus an earlier snapshot prev of the same histogram,
+// isolating the activity between the two (the bench harness uses it to
+// exclude preload traffic from measured-phase percentiles).
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] -= prev.Buckets[i]
+	}
+	s.Count -= prev.Count
+	s.Sum -= prev.Sum
+	return s
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{255, 0},
+		{256, 1},
+		{511, 1},
+		{512, 2},
+		{time.Microsecond, 2}, // 1000ns lies in [512ns, 1024ns)
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Monotone, and everything lands in range.
+	prev := 0
+	for d := time.Duration(1); d < 20*time.Second; d *= 3 {
+		b := bucketFor(d)
+		if b < prev || b >= HistBuckets {
+			t.Fatalf("bucketFor(%v) = %d (prev %d)", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(300 * time.Nanosecond) // bucket 1, bound 512ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 != 512*time.Nanosecond {
+		t.Fatalf("p50 = %v, want 512ns", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want within [1ms, 2ms]", p99)
+	}
+	if m := s.Mean(); m < 100*time.Microsecond || m > 110*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramMergeDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	before := h.Snapshot()
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	delta := h.Snapshot().Delta(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d", delta.Count)
+	}
+	merged := before.Merge(delta)
+	if merged.Count != 3 || merged != h.Snapshot() {
+		t.Fatalf("merge mismatch: %+v vs %+v", merged, h.Snapshot())
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.ObserveOp(OpInsert, time.Millisecond)
+	r.ObserveAction(ActPost, time.Millisecond)
+	r.ObserveLongWait(time.Millisecond)
+	r.ObserveLockWait(time.Millisecond)
+	r.PageLoad(time.Millisecond)
+	r.WriteBack(time.Millisecond)
+	r.LogAppend(time.Millisecond)
+	r.LogFlush(time.Millisecond)
+	r.Emit(Event{Kind: EvStarted})
+	if r.Events() != nil || r.Snapshot() != nil || r.MetricsOn() || r.TraceOn() {
+		t.Fatal("nil registry should be inert")
+	}
+	if New(Config{}) != nil {
+		t.Fatal("New with nothing enabled should return nil")
+	}
+}
+
+func TestRingDropOldest(t *testing.T) {
+	r := New(Config{Trace: true, TraceCapacity: 4})
+	for i := 1; i <= 7; i++ {
+		r.Emit(Event{Kind: EvStarted, Page: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(i + 4); e.Page != want || e.Seq != want {
+			t.Fatalf("event %d = page %d seq %d, want %d", i, e.Page, e.Seq, want)
+		}
+	}
+	s := r.Snapshot()
+	if s.TraceSeq != 7 || s.TraceDropped != 3 {
+		t.Fatalf("seq/dropped = %d/%d", s.TraceSeq, s.TraceDropped)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := New(Config{Metrics: true, Trace: true, TraceCapacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.ObserveOp(Op(i%int(OpCount)), time.Duration(i))
+				r.ObserveAction(Action(i%int(ActCount)), time.Duration(i))
+				r.Emit(Event{Kind: EvStarted, Page: uint64(g)})
+				if i%100 == 0 {
+					r.Snapshot()
+					r.Events()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total uint64
+	for _, h := range s.Ops {
+		total += h.Count
+	}
+	if total != 4000 {
+		t.Fatalf("op observations = %d", total)
+	}
+	if s.TraceSeq != 4000 || s.TraceDropped != 4000-64 {
+		t.Fatalf("trace seq/dropped = %d/%d", s.TraceSeq, s.TraceDropped)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []Event{
+		{Seq: 1, TS: time.Millisecond, Kind: EvEnqueued, Action: ActPost, Page: 7, Level: 1, Epoch: 42},
+		{Seq: 2, TS: 2 * time.Millisecond, Kind: EvAbortDX, Action: ActDelete, Page: 9, DXWant: 3, DXSeen: 4},
+		{Seq: 3, TS: 3 * time.Millisecond, Kind: EvAbortDD, Action: ActPost, Page: 9, DDWant: 1, DDSeen: 2},
+		{Seq: 4, TS: 4 * time.Millisecond, Kind: EvLatchWait, Dur: 5 * time.Millisecond},
+		{Seq: 5, TS: 5 * time.Millisecond, Kind: EvDeadlockVictim},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	for _, e := range in {
+		if s := FormatEvent(e); !strings.Contains(s, e.Kind.String()) {
+			t.Fatalf("FormatEvent(%v) = %q missing kind", e.Kind, s)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for o := OpSearch; o < OpCount; o++ {
+		if strings.Contains(o.String(), "?") {
+			t.Fatalf("Op %d has no name", o)
+		}
+	}
+	for a := ActPost; a < ActCount; a++ {
+		if strings.Contains(a.String(), "?") {
+			t.Fatalf("Action %d has no name", a)
+		}
+		if actionFromString(a.String()) != a {
+			t.Fatalf("action round-trip %v", a)
+		}
+	}
+	for k := EvEnqueued; k <= EvRelatchAbort; k++ {
+		if strings.Contains(k.String(), "?") {
+			t.Fatalf("EventKind %d has no name", k)
+		}
+		if eventKindFromString(k.String()) != k {
+			t.Fatalf("kind round-trip %v", k)
+		}
+	}
+}

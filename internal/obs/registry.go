@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace-ring entry. Fields beyond Seq/TS/Kind are populated
+// where they make sense for the kind: SMO lifecycle events carry the
+// action's page/level/epoch and the remembered-vs-observed delete-state
+// values; latch and lock events carry a duration or page where known.
+type Event struct {
+	// Seq is the event's emission sequence number (monotone per registry,
+	// including dropped events).
+	Seq uint64
+	// TS is the monotonic emission time, as an offset from the registry's
+	// creation.
+	TS time.Duration
+
+	Kind   EventKind
+	Action Action
+
+	// Page/Level/Epoch identify the node the action originates at.
+	Page  uint64
+	Level uint8
+	Epoch uint64
+
+	// DXWant/DXSeen are the remembered and observed global index-delete
+	// state for EvAbortDX; DDWant/DDSeen the per-parent data-delete state
+	// for EvAbortDD.
+	DXWant, DXSeen uint64
+	DDWant, DDSeen uint64
+
+	// Dur is a duration where the kind has one (EvLatchWait).
+	Dur time.Duration
+}
+
+// Registry is one tree's metrics-and-trace sink. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so instrumentation
+// sites need only a single pointer test.
+type Registry struct {
+	cfg   Config
+	start time.Time // monotonic base for Event.TS
+
+	ops     [OpCount]Histogram
+	actions [ActCount]Histogram
+
+	pageLoad  Histogram // buffer pool misses: store read + decode
+	writeBack Histogram // buffer pool dirty write-backs
+	logAppend Histogram // WAL record appends
+	logFlush  Histogram // WAL device syncs
+	lockWait  Histogram // blocking record-lock waits
+
+	longWaits atomic.Uint64 // latch waits >= cfg.LatchWaitThreshold
+
+	ring struct {
+		mu      sync.Mutex
+		buf     []Event
+		next    int
+		full    bool
+		seq     uint64
+		dropped uint64
+	}
+}
+
+// New builds a registry for cfg. Returns nil when cfg enables nothing, so
+// callers can keep the nil-pointer fast path.
+func New(cfg Config) *Registry {
+	if !cfg.Metrics && !cfg.Trace {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	r := &Registry{cfg: cfg, start: time.Now()}
+	if cfg.Trace {
+		r.ring.buf = make([]Event, cfg.TraceCapacity)
+	}
+	return r
+}
+
+// MetricsOn reports whether latency histograms are enabled.
+func (r *Registry) MetricsOn() bool { return r != nil && r.cfg.Metrics }
+
+// TraceOn reports whether the trace ring is enabled.
+func (r *Registry) TraceOn() bool { return r != nil && r.cfg.Trace }
+
+// LatchWaitThreshold returns the configured long-latch-wait threshold.
+func (r *Registry) LatchWaitThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.LatchWaitThreshold
+}
+
+// ObserveOp records one foreground operation's latency.
+func (r *Registry) ObserveOp(op Op, d time.Duration) {
+	if r == nil || !r.cfg.Metrics || op >= OpCount {
+		return
+	}
+	r.ops[op].Observe(d)
+}
+
+// ObserveAction records one maintenance action's processing latency.
+func (r *Registry) ObserveAction(a Action, d time.Duration) {
+	if r == nil || !r.cfg.Metrics || a >= ActCount {
+		return
+	}
+	r.actions[a].Observe(d)
+}
+
+// ObserveLongWait counts a latch wait at or above the threshold.
+func (r *Registry) ObserveLongWait(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.longWaits.Add(1)
+	if r.cfg.Trace {
+		r.Emit(Event{Kind: EvLatchWait, Dur: d})
+	}
+}
+
+// ObserveLockWait records one blocking record-lock wait.
+func (r *Registry) ObserveLockWait(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.lockWait.Observe(d)
+}
+
+// PageLoad implements the buffer pool's Observer.
+func (r *Registry) PageLoad(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.pageLoad.Observe(d)
+}
+
+// WriteBack implements the buffer pool's Observer.
+func (r *Registry) WriteBack(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.writeBack.Observe(d)
+}
+
+// LogAppend implements the WAL's Observer.
+func (r *Registry) LogAppend(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.logAppend.Observe(d)
+}
+
+// LogFlush implements the WAL's Observer.
+func (r *Registry) LogFlush(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.logFlush.Observe(d)
+}
+
+// Emit appends a trace event, stamping Seq and TS. The ring is bounded:
+// once full the oldest event is overwritten and counted as dropped. Events
+// are rare (SMO transitions and distress episodes, not per-operation), so a
+// mutex-guarded ring costs nothing measurable.
+func (r *Registry) Emit(e Event) {
+	if r == nil || !r.cfg.Trace {
+		return
+	}
+	e.TS = time.Since(r.start)
+	rg := &r.ring
+	rg.mu.Lock()
+	rg.seq++
+	e.Seq = rg.seq
+	if rg.full {
+		rg.dropped++
+	}
+	rg.buf[rg.next] = e
+	rg.next++
+	if rg.next == len(rg.buf) {
+		rg.next = 0
+		rg.full = true
+	}
+	rg.mu.Unlock()
+}
+
+// Events returns the ring's contents, oldest first.
+func (r *Registry) Events() []Event {
+	if r == nil || !r.cfg.Trace {
+		return nil
+	}
+	rg := &r.ring
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	var out []Event
+	if rg.full {
+		out = make([]Event, 0, len(rg.buf))
+		out = append(out, rg.buf[rg.next:]...)
+		out = append(out, rg.buf[:rg.next]...)
+	} else {
+		out = append(out, rg.buf[:rg.next]...)
+	}
+	return out
+}
+
+// Snapshot is a point-in-time copy of every histogram and trace counter.
+type Snapshot struct {
+	// Ops holds one histogram per Op (index with OpSearch..OpScan).
+	Ops [OpCount]HistogramSnapshot
+	// Actions holds one histogram per maintenance Action.
+	Actions [ActCount]HistogramSnapshot
+
+	PageLoad  HistogramSnapshot
+	WriteBack HistogramSnapshot
+	LogAppend HistogramSnapshot
+	LogFlush  HistogramSnapshot
+	LockWait  HistogramSnapshot
+
+	// LatchLongWaits counts blocking latch acquisitions at or above the
+	// configured threshold.
+	LatchLongWaits uint64
+
+	// TraceSeq is the total number of events emitted; TraceDropped how many
+	// the bounded ring overwrote.
+	TraceSeq     uint64
+	TraceDropped uint64
+}
+
+// Snapshot collects the registry's current state; nil on a nil receiver.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{LatchLongWaits: r.longWaits.Load()}
+	for i := range r.ops {
+		s.Ops[i] = r.ops[i].Snapshot()
+	}
+	for i := range r.actions {
+		s.Actions[i] = r.actions[i].Snapshot()
+	}
+	s.PageLoad = r.pageLoad.Snapshot()
+	s.WriteBack = r.writeBack.Snapshot()
+	s.LogAppend = r.logAppend.Snapshot()
+	s.LogFlush = r.logFlush.Snapshot()
+	s.LockWait = r.lockWait.Snapshot()
+	rg := &r.ring
+	rg.mu.Lock()
+	s.TraceSeq = rg.seq
+	s.TraceDropped = rg.dropped
+	rg.mu.Unlock()
+	return s
+}

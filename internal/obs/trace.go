@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// eventJSON is the wire form of an Event: enum fields as their string
+// names, durations in nanoseconds. One object per line (JSON Lines), so
+// dumps stream and truncated files still parse up to the cut.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	TSNs   int64  `json:"ts_ns"`
+	Kind   string `json:"kind"`
+	Action string `json:"action,omitempty"`
+	Page   uint64 `json:"page,omitempty"`
+	Level  uint8  `json:"level,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	DXWant uint64 `json:"dx_want,omitempty"`
+	DXSeen uint64 `json:"dx_seen,omitempty"`
+	DDWant uint64 `json:"dd_want,omitempty"`
+	DDSeen uint64 `json:"dd_seen,omitempty"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+}
+
+func toJSON(e Event) eventJSON {
+	j := eventJSON{
+		Seq:    e.Seq,
+		TSNs:   int64(e.TS),
+		Kind:   e.Kind.String(),
+		Page:   e.Page,
+		Level:  e.Level,
+		Epoch:  e.Epoch,
+		DXWant: e.DXWant,
+		DXSeen: e.DXSeen,
+		DDWant: e.DDWant,
+		DDSeen: e.DDSeen,
+		DurNs:  int64(e.Dur),
+	}
+	// Only SMO lifecycle kinds carry an action; the zero Action is a real
+	// value (post), so gate on kind rather than value.
+	switch e.Kind {
+	case EvEnqueued, EvStarted, EvCompleted, EvAbortDX, EvAbortDD,
+		EvAbortIdentity, EvAbortEdge, EvSkipFit, EvRequeued:
+		j.Action = e.Action.String()
+	}
+	return j
+}
+
+func fromJSON(j eventJSON) (Event, error) {
+	k := eventKindFromString(j.Kind)
+	if k == 0 {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", j.Kind)
+	}
+	e := Event{
+		Seq:    j.Seq,
+		TS:     time.Duration(j.TSNs),
+		Kind:   k,
+		Page:   j.Page,
+		Level:  j.Level,
+		Epoch:  j.Epoch,
+		DXWant: j.DXWant,
+		DXSeen: j.DXSeen,
+		DDWant: j.DDWant,
+		DDSeen: j.DDSeen,
+		Dur:    time.Duration(j.DurNs),
+	}
+	if j.Action != "" {
+		a := actionFromString(j.Action)
+		if a == ActCount {
+			return Event{}, fmt.Errorf("obs: unknown action %q", j.Action)
+		}
+		e.Action = a
+	}
+	return e, nil
+}
+
+// WriteTrace encodes events as JSON Lines.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(toJSON(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a JSON Lines trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var j eventJSON
+		if err := dec.Decode(&j); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		e, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// FormatEvent renders one event for human consumption (blinkdump -trace).
+func FormatEvent(e Event) string {
+	s := fmt.Sprintf("%8d %12s %-15s", e.Seq, e.TS.Round(time.Microsecond), e.Kind)
+	switch e.Kind {
+	case EvEnqueued, EvStarted, EvCompleted, EvAbortIdentity, EvAbortEdge,
+		EvSkipFit, EvRequeued:
+		s += fmt.Sprintf(" %-7s page=%d level=%d", e.Action, e.Page, e.Level)
+		if e.Epoch != 0 {
+			s += fmt.Sprintf(" epoch=%d", e.Epoch)
+		}
+	case EvAbortDX:
+		s += fmt.Sprintf(" %-7s page=%d level=%d dx=%d→%d", e.Action, e.Page, e.Level, e.DXWant, e.DXSeen)
+	case EvAbortDD:
+		s += fmt.Sprintf(" %-7s page=%d level=%d dd=%d→%d", e.Action, e.Page, e.Level, e.DDWant, e.DDSeen)
+	case EvLatchWait:
+		s += fmt.Sprintf(" waited=%s", e.Dur)
+	case EvLockNoWait, EvDeadlockVictim, EvRelatchAbort:
+		if e.Page != 0 {
+			s += fmt.Sprintf(" page=%d", e.Page)
+		}
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"sync"
+	"time"
 )
 
 // Log is the write-ahead log: it assigns LSNs, frames records onto a Device
@@ -15,7 +16,21 @@ type Log struct {
 
 	appends uint64
 	flushes uint64
+
+	// obs, when set, is told how long appends and forced syncs take.
+	// Set once (SetObserver) before the log sees traffic.
+	obs Observer
 }
+
+// Observer receives log latencies. *obs.Registry implements it.
+type Observer interface {
+	LogAppend(d time.Duration)
+	LogFlush(d time.Duration)
+}
+
+// SetObserver installs o as the log's latency observer. It must be called
+// before the log is shared between goroutines.
+func (l *Log) SetObserver(o Observer) { l.obs = o }
 
 // NewLog creates a Log over dev, resuming after any records already durable
 // on the device (their LSNs are skipped).
@@ -43,13 +58,29 @@ func (l *Log) AppendFunc(build func(lsn LSN) *Record) (LSN, error) {
 	defer l.mu.Unlock()
 	r := build(l.next)
 	r.LSN = l.next
-	if err := l.dev.Append(frame(r.Encode())); err != nil {
+	if err := l.appendLocked(r); err != nil {
 		return 0, err
+	}
+	return r.LSN, nil
+}
+
+// appendLocked encodes and buffers r (LSN already assigned), timing the
+// device append for the observer. Caller holds l.mu.
+func (l *Log) appendLocked(r *Record) error {
+	var t0 time.Time
+	if l.obs != nil {
+		t0 = time.Now()
+	}
+	if err := l.dev.Append(frame(r.Encode())); err != nil {
+		return err
+	}
+	if l.obs != nil {
+		l.obs.LogAppend(time.Since(t0))
 	}
 	l.next++
 	l.synced = r.LSN
 	l.appends++
-	return r.LSN, nil
+	return nil
 }
 
 // Append assigns the next LSN to r, encodes it and buffers it on the device.
@@ -58,12 +89,9 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r.LSN = l.next
-	if err := l.dev.Append(frame(r.Encode())); err != nil {
+	if err := l.appendLocked(r); err != nil {
 		return 0, err
 	}
-	l.next++
-	l.synced = r.LSN
-	l.appends++
 	return r.LSN, nil
 }
 
@@ -76,20 +104,28 @@ func (l *Log) Flush(upto LSN) error {
 	if upto <= l.flushed {
 		return nil
 	}
-	if err := l.dev.Sync(); err != nil {
-		return err
-	}
-	l.flushed = l.synced
-	l.flushes++
-	return nil
+	return l.syncLocked()
 }
 
 // FlushAll forces durability of everything appended so far.
 func (l *Log) FlushAll() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLocked forces the device and advances the durable horizon, timing the
+// sync for the observer. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	var t0 time.Time
+	if l.obs != nil {
+		t0 = time.Now()
+	}
 	if err := l.dev.Sync(); err != nil {
 		return err
+	}
+	if l.obs != nil {
+		l.obs.LogFlush(time.Since(t0))
 	}
 	l.flushed = l.synced
 	l.flushes++
