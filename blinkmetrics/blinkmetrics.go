@@ -181,6 +181,18 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 	p.header("blinktree_traversal_total", "Traversal behaviour.", "counter")
 	p.printf("blinktree_traversal_total{event=\"side\"} %d\n", s.SideTraversals)
 	p.printf("blinktree_traversal_total{event=\"restart\"} %d\n", s.Restarts)
+	p.printf("blinktree_traversal_total{event=\"exhausted\"} %d\n", s.TraverseExhausted)
+
+	p.header("blinktree_optread_total", "Optimistic read-path traversal outcomes.", "counter")
+	for _, v := range []struct {
+		event string
+		n     uint64
+	}{
+		{"attempt", s.OptReadAttempts}, {"restart", s.OptReadRestarts},
+		{"fallback", s.OptReadFallbacks},
+	} {
+		p.printf("blinktree_optread_total{event=%q} %d\n", v.event, v.n)
+	}
 
 	p.header("blinktree_smo_total", "Structure modifications completed by kind.", "counter")
 	for _, v := range []struct {

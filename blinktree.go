@@ -71,6 +71,22 @@ const (
 	BaselineNoDelete
 )
 
+// ReadPath selects how point reads and cursor positioning descend the
+// tree; see Options.OptimisticReads.
+type ReadPath = core.ReadPath
+
+const (
+	// ReadPathDefault lets the tree choose (currently optimistic).
+	ReadPathDefault = core.ReadPathDefault
+	// ReadPathOptimistic descends root-to-leaf without latching index
+	// nodes, validating a per-node version word instead, and takes a
+	// single shared latch at the target leaf. Falls back to the latched
+	// traversal after repeated validation failures.
+	ReadPathOptimistic = core.ReadPathOptimistic
+	// ReadPathPessimistic always uses the latch-coupled traversal.
+	ReadPathPessimistic = core.ReadPathPessimistic
+)
+
 // Options configures a Tree. The zero value is a sensible volatile tree:
 // 4 KiB pages, 4096-node cache, background maintenance workers.
 type Options struct {
@@ -106,6 +122,15 @@ type Options struct {
 	MaintenanceSoftCap int
 	// Baseline optionally selects a comparator algorithm.
 	Baseline Baseline
+
+	// OptimisticReads selects the read-path traversal. The default is
+	// optimistic: Get, transactional reads and cursor positioning descend
+	// without latching index nodes, validating each node's version word
+	// after reading its routing information, and latch only the target
+	// leaf in share mode. Validation failures restart the descent; after
+	// a few restarts the read falls back to the pessimistic latch-coupled
+	// traversal. Set ReadPathPessimistic to always latch-couple.
+	OptimisticReads ReadPath
 
 	// Observability enables per-operation latency histograms
 	// (Observability.Metrics) and/or the SMO lifecycle trace ring
@@ -146,6 +171,8 @@ func Open(opts Options) (*Tree, error) {
 		Compare:     opts.Comparator,
 		TodoShards:  opts.MaintenanceShards,
 		TodoSoftCap: opts.MaintenanceSoftCap,
+
+		OptimisticReads: opts.OptimisticReads,
 	}
 	if opts.Workers < 0 {
 		cOpts.Workers = core.WorkersNone

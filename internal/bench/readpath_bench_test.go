@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"blinktree/internal/core"
+)
+
+// BenchmarkReadPath measures Get throughput on a preloaded tree with the
+// optimistic versioned-latch read path against the pessimistic latch-coupled
+// traversal. Run with -cpu to vary parallelism; the CI read-path smoke job
+// compares the two sub-benchmarks and fails if optimistic is slower on this
+// read-only workload.
+func BenchmarkReadPath(b *testing.B) {
+	const preload = 50_000
+	for _, bc := range []struct {
+		name string
+		rp   core.ReadPath
+	}{
+		{"optimistic", core.ReadPathOptimistic},
+		{"pessimistic", core.ReadPathPessimistic},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			tr, err := core.New(core.Options{
+				PageSize: expPageSize, MinFill: 0.35, Workers: 2,
+				OptimisticReads: bc.rp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			if err := Preload(tr, Spec{KeySpace: preload, Preload: preload}); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := Key(int(next.Add(1) % preload))
+					if _, err := tr.Get(k); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkReadPathContended measures Get throughput while one background
+// writer churns inserts and deletes, forcing splits and consolidations that
+// invalidate optimistic validations mid-descent.
+func BenchmarkReadPathContended(b *testing.B) {
+	const preload = 50_000
+	for _, bc := range []struct {
+		name string
+		rp   core.ReadPath
+	}{
+		{"optimistic", core.ReadPathOptimistic},
+		{"pessimistic", core.ReadPathPessimistic},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			tr, err := core.New(core.Options{
+				PageSize: expPageSize, MinFill: 0.35, Workers: 2,
+				OptimisticReads: bc.rp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			if err := Preload(tr, Spec{KeySpace: preload, Preload: preload}); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				g := NewGen(Spec{KeySpace: preload, Mix: Mix{Insert: 100}}, 99)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := Key(g.NextKey())
+					if i%2 == 0 {
+						_ = tr.Put(k, g.Value())
+					} else {
+						_ = tr.Delete(k)
+					}
+				}
+			}()
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := Key(int(next.Add(1) % preload))
+					if _, err := tr.Get(k); err != nil && err != core.ErrKeyNotFound {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}

@@ -133,29 +133,36 @@ func (p *Pool) Fetch(id page.PageID) (Object, error) {
 	p.mu.Lock()
 	for {
 		f, ok := p.frames[id]
-		if !ok {
-			break
+		if ok {
+			switch f.state {
+			case stateReady:
+				f.pins++
+				f.ref = true
+				p.mu.Unlock()
+				p.hits.Add(1)
+				return f.obj, nil
+			case stateLoading, stateEvicting:
+				// Someone else is transitioning this frame; wait and retry.
+				p.cond.Wait()
+			case stateFailed:
+				err := f.err
+				p.mu.Unlock()
+				return nil, err
+			}
+			continue
 		}
-		switch f.state {
-		case stateReady:
-			f.pins++
-			f.ref = true
-			p.mu.Unlock()
-			p.hits.Add(1)
-			return f.obj, nil
-		case stateLoading, stateEvicting:
-			// Someone else is transitioning this frame; wait and retry.
-			p.cond.Wait()
-		case stateFailed:
-			err := f.err
+		// Miss: make room, then claim a loading frame. makeRoomLocked can
+		// release the mutex during eviction write-back, so another goroutine
+		// may install a frame for this id in the window; re-check and defer
+		// to it rather than overwriting its frame (which would split the
+		// page's pin accounting across two frames).
+		if err := p.makeRoomLocked(); err != nil {
 			p.mu.Unlock()
 			return nil, err
 		}
-	}
-	// Miss: claim a loading frame, make room, then load outside the mutex.
-	if err := p.makeRoomLocked(); err != nil {
-		p.mu.Unlock()
-		return nil, err
+		if _, ok := p.frames[id]; !ok {
+			break
+		}
 	}
 	f := &frame{id: id, state: stateLoading, pins: 1, ref: true}
 	p.frames[id] = f
@@ -204,6 +211,11 @@ func (p *Pool) Insert(id page.PageID, obj Object) error {
 	}
 	if err := p.makeRoomLocked(); err != nil {
 		return err
+	}
+	// makeRoomLocked can release the mutex mid-eviction; re-check before
+	// installing so a concurrently loaded frame is never overwritten.
+	if _, ok := p.frames[id]; ok {
+		return fmt.Errorf("buffer: Insert of resident page %d", id)
 	}
 	p.frames[id] = &frame{id: id, state: stateReady, obj: obj, pins: 1, dirty: true, ref: true}
 	p.clock = append(p.clock, id)

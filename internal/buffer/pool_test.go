@@ -378,3 +378,86 @@ func ExamplePool() {
 	pool.Unpin(id, false)
 	// Output: 3
 }
+
+// slowObj is a testObj whose Marshal blocks until released, holding the
+// frame in stateEvicting (pool mutex dropped) for as long as the test needs.
+type slowObj struct {
+	testObj
+	started chan struct{} // closed when Marshal begins
+	release chan struct{} // Marshal returns after this closes
+}
+
+func (o *slowObj) Marshal(pageSize int) ([]byte, error) {
+	close(o.started)
+	<-o.release
+	return o.testObj.Marshal(pageSize)
+}
+
+// TestConcurrentMissDuringEviction reproduces the duplicate-frame race: a
+// miss makes room by evicting, which releases the pool mutex during
+// write-back; a second miss for the same page in that window must not
+// overwrite the first loader's frame when it resumes. With the bug, the two
+// loaders get distinct frames for one page and their unpins cross,
+// underflowing the pin count (panic "Unpin of unpinned page").
+func TestConcurrentMissDuringEviction(t *testing.T) {
+	p, store, _ := newTestPool(t, 2)
+	// Two dirty slow-marshal victims fill the pool.
+	mkSlow := func(fill byte) (page.PageID, *slowObj) {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := &slowObj{
+			testObj: testObj{data: fill},
+			started: make(chan struct{}),
+			release: make(chan struct{}),
+		}
+		if err := p.Insert(id, o); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, true) // dirty: eviction must write back (slowly)
+		return id, o
+	}
+	_, v1 := mkSlow(1)
+	_, v2 := mkSlow(2)
+	// The contended page: on the store but not resident.
+	x, err := store.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(x, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch only; pins are dropped at the end, so the first loader's pin is
+	// still outstanding when the second resumes — with the bug the second
+	// unpin below underflows.
+	fetch := func(done chan error) {
+		_, err := p.Fetch(x)
+		done <- err
+	}
+	// Loader A misses x and starts evicting one victim; once its write-back
+	// has the mutex dropped, loader B misses x too and evicts the other.
+	// Releasing A first lets it finish its load while B is still evicting;
+	// B must then adopt A's frame instead of installing its own.
+	doneA := make(chan error, 1)
+	doneB := make(chan error, 1)
+	go fetch(doneA)
+	<-v1.started
+	go fetch(doneB)
+	<-v2.started
+	close(v1.release)
+	if err := <-doneA; err != nil {
+		t.Fatal(err)
+	}
+	close(v2.release)
+	if err := <-doneB; err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(x, false)
+	p.Unpin(x, false)
+	s := p.Snapshot()
+	if s.Pinned != 0 {
+		t.Fatalf("pins leaked: %d pages still pinned", s.Pinned)
+	}
+}

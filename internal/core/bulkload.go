@@ -186,6 +186,11 @@ func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) er
 		}
 	}
 
+	// All built nodes are private until the anchor flip; their routing
+	// snapshots must exist before optimistic readers can reach them.
+	for _, n := range nodes {
+		n.publishRoute()
+	}
 	t.anchor.mu.Lock()
 	t.anchor.root = root.id
 	t.anchor.level = root.c.Level

@@ -128,7 +128,7 @@ func (c *Cursor) position(seek []byte) (*node, error) {
 
 func (c *Cursor) freshTraverse(seek []byte) (*node, error) {
 	dx := c.t.dx.v.Load()
-	leaf, path, err := c.t.traverse(traverseOpts{key: seek, intent: latch.Shared, dx: dx})
+	leaf, path, err := c.t.traverseRead(traverseOpts{key: seek, intent: latch.Shared, dx: dx})
 	if err != nil {
 		return nil, err
 	}

@@ -131,6 +131,24 @@ func (t *Tree) traceAbort(kind obs.EventKind, a *action, want, seen uint64) {
 	t.obs.Emit(e)
 }
 
+// traceOptFallback emits the event for an optimistic read that exhausted
+// its restart budget and fell back to the latched traversal.
+func (t *Tree) traceOptFallback() {
+	if !t.tracing() {
+		return
+	}
+	t.obs.Emit(obs.Event{Kind: obs.EvOptFallback})
+}
+
+// traverseExhausted counts a traversal that hit its restart budget
+// (live-lock) and emits the matching trace event.
+func (t *Tree) traverseExhausted() {
+	t.c.traverseExhausted.Add(1)
+	if t.tracing() {
+		t.obs.Emit(obs.Event{Kind: obs.EvTraverseExhausted})
+	}
+}
+
 // obsActionDone records an action-processing latency started at t0.
 func (t *Tree) obsActionDone(k actionKind, t0 time.Time) {
 	if !t0.IsZero() {

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"blinktree/internal/latch"
 	"blinktree/internal/page"
@@ -36,6 +37,52 @@ type node struct {
 	// c is the node's logical content (fences, side pointer, entries, D_D,
 	// page LSN). It is mutated in place under the exclusive latch.
 	c page.Content
+
+	// route is the immutable routing snapshot optimistic readers descend
+	// through without latching; nil for leaves (leaves are always read
+	// under a Shared latch). It is republished whenever the exclusive
+	// latch is released and the reader validates currency against the
+	// latch version word (see optread.go).
+	route atomic.Pointer[route]
+}
+
+// route is an immutable snapshot of everything an optimistic reader needs
+// from an index node: fences, side pointer, separator keys and child
+// addresses, plus the identity (epoch) and delete state (D_D) that a
+// traversal path entry remembers. A published route is never mutated; a
+// new one replaces it wholesale under the exclusive latch.
+type route struct {
+	level uint8
+	epoch uint64
+	dd    uint64
+	dead  bool
+	size  int // serialized size at publish time (under-utilization check)
+
+	low, high []byte
+	right     page.PageID
+	keys      [][]byte
+	children  []page.PageID
+}
+
+// publishRoute installs a fresh routing snapshot. The caller must hold the
+// node's exclusive latch, or own the node privately (creation, load, bulk
+// build) so no concurrent reader exists yet. Leaves publish nothing.
+func (n *node) publishRoute() {
+	if n.isLeaf() {
+		return
+	}
+	n.route.Store(&route{
+		level:    n.c.Level,
+		epoch:    n.c.Epoch,
+		dd:       n.c.DD,
+		dead:     n.dead,
+		size:     n.size(),
+		low:      n.c.Low,
+		high:     n.c.High,
+		right:    n.c.Right,
+		keys:     append([][]byte(nil), n.c.Keys...),
+		children: append([]page.PageID(nil), n.c.Children...),
+	})
 }
 
 // newNode wraps fresh content.
@@ -71,31 +118,50 @@ func (n *node) pastHigh(cmp Compare, key []byte) bool {
 	return n.c.High != nil && cmp(key, n.c.High) >= 0
 }
 
+// lowerBound returns the index of the first key in keys that is >= key
+// under cmp (len(keys) when every key is smaller). It is the single binary
+// search underlying every in-node lookup; keys within a node are unique.
+func lowerBound(cmp Compare, keys [][]byte, key []byte) int {
+	return sort.Search(len(keys), func(i int) bool {
+		return cmp(keys[i], key) >= 0
+	})
+}
+
+// keySearch returns the lower-bound position of key in keys and whether the
+// key at that position is an exact match.
+func keySearch(cmp Compare, keys [][]byte, key []byte) (int, bool) {
+	i := lowerBound(cmp, keys, key)
+	return i, i < len(keys) && cmp(keys[i], key) == 0
+}
+
+// childIndex returns the position of the child covering key in an index
+// node keyed by keys (keys[i] is child i's low fence): the last position
+// whose key is <= key, or -1 when key sorts below keys[0].
+func childIndex(cmp Compare, keys [][]byte, key []byte) int {
+	i, found := keySearch(cmp, keys, key)
+	if found {
+		return i
+	}
+	return i - 1
+}
+
 // searchLeaf returns the position of key in a leaf and whether it is
 // present; absent keys return their insertion position.
 func (n *node) searchLeaf(cmp Compare, key []byte) (int, bool) {
-	i := sort.Search(len(n.c.Keys), func(i int) bool {
-		return cmp(n.c.Keys[i], key) >= 0
-	})
-	return i, i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0
+	return keySearch(cmp, n.c.Keys, key)
 }
 
 // childFor returns the index of the child covering key in an index node.
 // The caller must have established key >= Low (keys[0] == Low).
 func (n *node) childFor(cmp Compare, key []byte) int {
-	i := sort.Search(len(n.c.Keys), func(i int) bool {
-		return cmp(n.c.Keys[i], key) > 0
-	})
-	return i - 1
+	return childIndex(cmp, n.c.Keys, key)
 }
 
 // searchIndexKey reports whether an index node has an entry with exactly
 // this separator key, and its position.
 func (n *node) searchIndexKey(cmp Compare, key []byte) (bool, int) {
-	i := sort.Search(len(n.c.Keys), func(i int) bool {
-		return cmp(n.c.Keys[i], key) >= 0
-	})
-	return i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0, i
+	i, found := keySearch(cmp, n.c.Keys, key)
+	return found, i
 }
 
 // findChild returns the position of the index entry pointing at child, or
@@ -131,10 +197,8 @@ func (n *node) removeLeafAt(i int) []byte {
 // position. It reports false if a term with the same key already exists
 // (the posting was already done, e.g. re-discovered twice).
 func (n *node) insertIndexTerm(cmp Compare, key []byte, child page.PageID) bool {
-	i := sort.Search(len(n.c.Keys), func(i int) bool {
-		return cmp(n.c.Keys[i], key) >= 0
-	})
-	if i < len(n.c.Keys) && cmp(n.c.Keys[i], key) == 0 {
+	i, found := keySearch(cmp, n.c.Keys, key)
+	if found {
 		return false
 	}
 	n.c.Keys = append(n.c.Keys, nil)

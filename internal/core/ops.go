@@ -31,7 +31,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 	t0 := t.obsStart()
 	defer t.obsOp(obs.OpSearch, t0)
 	dx := t.dx.v.Load()
-	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Shared, dx: dx})
+	leaf, path, err := t.traverseRead(traverseOpts{key: key, intent: latch.Shared, dx: dx})
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,22 @@ const (
 	Drain
 )
 
+// ReadPath selects the traversal strategy for point reads and cursor
+// positioning.
+type ReadPath uint8
+
+const (
+	// ReadPathDefault resolves to ReadPathOptimistic.
+	ReadPathDefault ReadPath = iota
+	// ReadPathOptimistic descends root-to-leaf without latching, validating
+	// each index node against its latch version word and taking a single
+	// Shared latch at the target leaf; validation failures restart, and a
+	// bounded number of restarts falls back to the latched traversal.
+	ReadPathOptimistic
+	// ReadPathPessimistic always uses the latch-coupled traversal.
+	ReadPathPessimistic
+)
+
 // Compare orders keys like bytes.Compare: negative when a < b, zero when
 // equal, positive when a > b. A custom comparator must order the empty key
 // below every non-empty key (it is the tree's -infinity sentinel), and two
@@ -108,6 +124,13 @@ type Options struct {
 	// should abort far more postings under leaf-delete load.
 	SingleDeleteState bool
 
+	// OptimisticReads selects the read-path strategy: the default
+	// (ReadPathDefault / ReadPathOptimistic) descends latch-free with
+	// version validation, paying latches only at the leaf; set
+	// ReadPathPessimistic to force the classic latch-coupled traversal
+	// everywhere (comparators and debugging).
+	OptimisticReads ReadPath
+
 	// Observability enables per-operation latency histograms and/or the
 	// SMO lifecycle trace ring (see obs.Config). Nil disables both: the
 	// instrumentation collapses to a nil-pointer check on the hot paths.
@@ -139,6 +162,9 @@ func (o Options) withDefaults() Options {
 		o.TodoSoftCap = 64 * o.TodoShards
 	case o.TodoSoftCap < 0:
 		o.TodoSoftCap = 0 // TodoSoftCapNone: backpressure disabled
+	}
+	if o.OptimisticReads == ReadPathDefault {
+		o.OptimisticReads = ReadPathOptimistic
 	}
 	if o.Store == nil {
 		o.Store = storage.NewMemStore(o.PageSize)

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"blinktree/internal/latch"
+	"blinktree/internal/page"
+)
+
+// Optimistic (latch-free) read path.
+//
+// A read descends root→leaf taking no latches at all: each index node is
+// read through its immutable routing snapshot (node.route, republished on
+// every exclusive-latch release) and validated against the latch's version
+// word. The protocol per index node is
+//
+//	v    ← latch.OptVersion()        (fails while an X holder exists)
+//	r    ← route snapshot
+//	        fence / level / dead checks on r; pick child or side pointer
+//	pin the next node
+//	ok   ← latch.Validate(v)         (no X ownership intervened)
+//
+// Pin-coupling replaces latch-coupling: the parent's pin is held until the
+// child is pinned and the parent validated, so the child's page cannot be
+// deallocated and reused in the window (reclaim refuses pinned frames, and
+// a reloaded page gets a fresh node object). A child that is consolidated
+// after validation keeps its dead flag forever on this object, and fences
+// only ever tighten rightward — both are re-checked on arrival, exactly the
+// recoverable situations Lomet's side pointers and delete states already
+// handle for latched readers that run behind an SMO.
+//
+// Only the target leaf is latched (Shared), closing the race with in-place
+// record updates; leaf-level side steps are latch-coupled as in traverse.
+// Any validation failure restarts from the root; after maxOptAttempts
+// failures the read falls back to the pessimistic traversal.
+
+// maxOptAttempts bounds optimistic descent attempts before falling back to
+// the latched traversal. Restarts are rare (an SMO must hit the read's
+// exact path mid-descent), so a small budget loses nothing.
+const maxOptAttempts = 3
+
+// unpin drops a pin taken with fetch (no latch involved).
+func (t *Tree) unpin(n *node) { t.pool.Unpin(n.id, false) }
+
+// traverseRead is the entry point for Shared leaf traversals (Get,
+// transactional point reads, cursor positioning): optimistic first, latched
+// fallback. Non-read shapes go straight to traverse.
+func (t *Tree) traverseRead(o traverseOpts) (*node, []pathEntry, error) {
+	if t.optReads && o.intent == latch.Shared && o.level == 0 && !o.promote {
+		for attempt := 0; attempt < maxOptAttempts; attempt++ {
+			t.c.optAttempts.Add(1)
+			leaf, path, ok := t.traverseOpt(o)
+			if ok {
+				return leaf, path, nil
+			}
+			t.c.optRestarts.Add(1)
+		}
+		t.c.optFallbacks.Add(1)
+		t.traceOptFallback()
+	}
+	return t.traverse(o)
+}
+
+// routeView samples n's version word and routing snapshot for one
+// optimistic step. ok is false when an exclusive holder is active or no
+// snapshot exists (a leaf, or a node loaded before publication).
+func (n *node) routeView() (*route, uint64, bool) {
+	v, ok := n.latch.OptVersion()
+	if !ok {
+		return nil, 0, false
+	}
+	r := n.route.Load()
+	if r == nil {
+		return nil, 0, false
+	}
+	return r, v, true
+}
+
+// traverseOpt makes one optimistic descent attempt for o.key. ok=false
+// means a validation failed and the caller should retry or fall back;
+// on ok=true the covering leaf is returned pinned and Shared-latched with
+// the remembered path, exactly like traverse.
+func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
+	rootID, rootLevel := t.readAnchor()
+	n, err := t.fetch(rootID)
+	if err != nil {
+		return nil, nil, false // root shrunk away; retry from new anchor
+	}
+	var path []pathEntry
+	level := rootLevel
+	for level > 0 {
+		r, v, ok := n.routeView()
+		if !ok || r.dead || r.level != level {
+			t.unpin(n)
+			return nil, nil, false
+		}
+		if t.cmp(o.key, r.low) < 0 {
+			// Mis-routed below the node's key space: unlike the latched
+			// traversal this is reachable (the route that sent us here was
+			// stale), and a restart recovers.
+			t.unpin(n)
+			return nil, nil, false
+		}
+		if r.high != nil && t.cmp(o.key, r.high) >= 0 {
+			// Side traversal; reaching a node only via its side pointer
+			// means its index term is missing (§2.3).
+			if r.right == 0 {
+				t.unpin(n)
+				return nil, nil, false
+			}
+			t.enqueuePostFromRoute(n.id, r, path, o.dx)
+			m, err := t.fetch(r.right)
+			if err != nil || !n.latch.Validate(v) {
+				if err == nil {
+					t.unpin(m)
+				}
+				t.unpin(n)
+				return nil, nil, false
+			}
+			t.unpin(n)
+			n = m
+			t.c.sideTraversals.Add(1)
+			continue
+		}
+		ci := childIndex(t.cmp, r.keys, o.key)
+		if ci < 0 || ci >= len(r.children) {
+			t.unpin(n)
+			return nil, nil, false
+		}
+		path = append(path, pathEntry{
+			ref:   ref{id: n.id, epoch: r.epoch},
+			level: r.level,
+			dd:    r.dd,
+		})
+		t.maybeEnqueueDeleteFromRoute(n.id, r, path, o.dx)
+		m, err := t.fetch(r.children[ci])
+		if err != nil || !n.latch.Validate(v) {
+			if err == nil {
+				t.unpin(m)
+			}
+			t.unpin(n)
+			return nil, nil, false
+		}
+		t.unpin(n)
+		n = m
+		level--
+	}
+	// Target level: the only latch of the whole descent. Everything decided
+	// optimistically is re-verified under it.
+	n.latch.Acquire(latch.Shared)
+	if n.dead || !n.isLeaf() || t.cmp(o.key, n.c.Low) < 0 {
+		t.unlatchUnpin(n, latch.Shared, false)
+		return nil, nil, false
+	}
+	couple := !t.opts.NoDeleteSupport
+	for n.pastHigh(t.cmp, o.key) {
+		sib := n.c.Right
+		if sib == 0 {
+			t.unlatchUnpin(n, latch.Shared, false)
+			return nil, nil, false
+		}
+		t.enqueuePostFromSideMove(n, path, o.dx)
+		var m *node
+		if couple {
+			m, err = t.pinLatch(sib, latch.Shared)
+			t.unlatchUnpin(n, latch.Shared, false)
+		} else {
+			t.unlatchUnpin(n, latch.Shared, false)
+			m, err = t.pinLatch(sib, latch.Shared)
+		}
+		if err != nil || m.dead {
+			if err == nil {
+				t.unlatchUnpin(m, latch.Shared, false)
+			}
+			return nil, nil, false
+		}
+		n = m
+		t.c.sideTraversals.Add(1)
+	}
+	return n, path, true
+}
+
+// enqueuePostFromRoute is enqueuePostFromSideMove for an optimistic side
+// move: the snapshot carries the sibling's address and key space (the
+// Pi-tree property), which is the complete index term to post. A stale
+// snapshot enqueues a posting that the D_D/D_X verification in processPost
+// will abandon — the same safety argument as every other lazy action.
+func (t *Tree) enqueuePostFromRoute(id page.PageID, r *route, path []pathEntry, dx uint64) {
+	if t.todo.postPending(id, r.right) {
+		return
+	}
+	var parent ref
+	var dd uint64
+	if len(path) > 0 {
+		top := path[len(path)-1]
+		parent = top.ref
+		dd = top.dd
+	}
+	a := action{
+		kind:   actPost,
+		level:  r.level,
+		origID: id, origEpoch: r.epoch,
+		newID:  r.right,
+		sep:    append([]byte(nil), r.high...),
+		parent: parent,
+		dx:     dx,
+		dd:     dd,
+	}
+	t.c.postsEnqueued.Add(1)
+	t.todo.enqueue(a)
+}
+
+// maybeEnqueueDeleteFromRoute is maybeEnqueueDelete for an optimistic
+// descent, working from the snapshot's size and child count. path already
+// includes the node itself (appended just before the call), matching the
+// latched traversal's calling convention.
+func (t *Tree) maybeEnqueueDeleteFromRoute(id page.PageID, r *route, path []pathEntry, dx uint64) {
+	if t.opts.NoDeleteSupport {
+		return
+	}
+	isRoot := len(path) <= 1
+	if isRoot {
+		if len(r.children) == 1 && r.right == 0 {
+			t.todo.enqueue(action{
+				kind: actShrink, origID: id, origEpoch: r.epoch, level: r.level,
+			})
+		}
+		return
+	}
+	if !t.underutilizedRaw(r.size, len(r.keys)) {
+		return
+	}
+	parent := path[len(path)-2]
+	t.c.deletesEnqueued.Add(1)
+	t.todo.enqueue(action{
+		kind:   actDelete,
+		level:  r.level,
+		origID: id, origEpoch: r.epoch,
+		sep:    append([]byte(nil), r.low...),
+		parent: parent.ref,
+		dx:     dx,
+	})
+}
+
+// reverse positioning --------------------------------------------------
+
+// descendPredRead is the read-path entry for backward positioning:
+// optimistic descents with the same restart budget and fallback as
+// traverseRead, landing on descendPred when exhausted.
+func (t *Tree) descendPredRead(bound []byte) (*node, func(), error) {
+	if t.optReads {
+		for attempt := 0; attempt < maxOptAttempts; attempt++ {
+			t.c.optAttempts.Add(1)
+			leaf, release, ok := t.descendPredOpt(bound)
+			if ok {
+				return leaf, release, nil
+			}
+			t.c.optRestarts.Add(1)
+		}
+		t.c.optFallbacks.Add(1)
+		t.traceOptFallback()
+	}
+	return t.descendPred(bound)
+}
+
+// descendPredOpt makes one optimistic attempt at descendPred: descend to
+// the leaf that may contain keys strictly below bound (nil = +inf) without
+// latching, then Shared-latch it. ok=false restarts; leaf == nil with
+// ok=true means no subtree lies below the bound (validated verdict).
+func (t *Tree) descendPredOpt(bound []byte) (*node, func(), bool) {
+	rootID, rootLevel := t.readAnchor()
+	n, err := t.fetch(rootID)
+	if err != nil {
+		return nil, nil, false
+	}
+	level := rootLevel
+	for level > 0 {
+		r, v, ok := n.routeView()
+		if !ok || r.dead || r.level != level {
+			t.unpin(n)
+			return nil, nil, false
+		}
+		// Move right while some sibling still has keys below bound (see
+		// descendPred for the strictness argument).
+		sib := page.PageID(0)
+		if bound == nil && r.right != 0 {
+			sib = r.right
+		} else if bound != nil && r.high != nil && t.cmp(r.high, bound) < 0 {
+			if r.right == 0 {
+				t.unpin(n)
+				return nil, nil, false
+			}
+			sib = r.right
+		}
+		if sib != 0 {
+			m, err := t.fetch(sib)
+			if err != nil || !n.latch.Validate(v) {
+				if err == nil {
+					t.unpin(m)
+				}
+				t.unpin(n)
+				return nil, nil, false
+			}
+			t.unpin(n)
+			n = m
+			t.c.sideTraversals.Add(1)
+			continue
+		}
+		// Choose the rightmost child with any key space below bound.
+		ci := len(r.children) - 1
+		if bound != nil {
+			ci = lowerBound(t.cmp, r.keys, bound) - 1
+			if ci < 0 {
+				// Even keys[0] >= bound: nothing below bound here. The
+				// verdict is only as current as the snapshot — validate
+				// before trusting it.
+				ok := n.latch.Validate(v)
+				t.unpin(n)
+				if !ok {
+					return nil, nil, false
+				}
+				return nil, func() {}, true
+			}
+		}
+		if ci >= len(r.children) {
+			t.unpin(n)
+			return nil, nil, false
+		}
+		m, err := t.fetch(r.children[ci])
+		if err != nil || !n.latch.Validate(v) {
+			if err == nil {
+				t.unpin(m)
+			}
+			t.unpin(n)
+			return nil, nil, false
+		}
+		t.unpin(n)
+		n = m
+		level--
+	}
+	n.latch.Acquire(latch.Shared)
+	if n.dead || !n.isLeaf() {
+		t.unlatchUnpin(n, latch.Shared, false)
+		return nil, nil, false
+	}
+	// Re-run the rightward checks under real latches: the leaf may still
+	// need side steps (splits since validation, or a stale landing).
+	couple := !t.opts.NoDeleteSupport
+	for bound == nil && n.c.Right != 0 {
+		m, err := t.sideStep(n, couple)
+		if err != nil {
+			return nil, nil, false
+		}
+		n = m
+	}
+	for bound != nil && n.c.High != nil && t.cmp(n.c.High, bound) < 0 {
+		m, err := t.sideStep(n, couple)
+		if err != nil {
+			return nil, nil, false
+		}
+		n = m
+	}
+	leaf := n
+	return leaf, func() { t.unlatchUnpin(leaf, latch.Shared, false) }, true
+}

@@ -156,8 +156,7 @@ func (t *Tree) redoRecOp(r *wal.Record) error {
 
 // applyRecOp applies a record operation to leaf content in place.
 func applyRecOp(cmp Compare, c *page.Content, r *wal.Record) {
-	i := searchKeys(cmp, c.Keys, r.Key)
-	found := i < len(c.Keys) && cmp(c.Keys[i], r.Key) == 0
+	i, found := keySearch(cmp, c.Keys, r.Key)
 	switch r.Op {
 	case wal.OpInsert:
 		if found {
@@ -180,19 +179,6 @@ func applyRecOp(cmp Compare, c *page.Content, r *wal.Record) {
 			c.Vals = append(c.Vals[:i], c.Vals[i+1:]...)
 		}
 	}
-}
-
-func searchKeys(cmp Compare, keys [][]byte, key []byte) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cmp(keys[mid], key) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 // undoLoser rolls back one unfinished transaction after redo, walking its

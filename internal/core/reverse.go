@@ -22,7 +22,7 @@ import (
 func (t *Tree) predecessor(bound []byte) (key, val []byte, ok bool, err error) {
 	cur := bound
 	for attempt := 0; attempt < maxTraverseRestarts; attempt++ {
-		leaf, release, err := t.descendPred(cur)
+		leaf, release, err := t.descendPredRead(cur)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -31,7 +31,7 @@ func (t *Tree) predecessor(bound []byte) (key, val []byte, ok bool, err error) {
 		}
 		idx := len(leaf.c.Keys)
 		if cur != nil {
-			idx = firstAtLeast(t.cmp, leaf.c.Keys, cur)
+			idx = lowerBound(t.cmp, leaf.c.Keys, cur)
 		}
 		if idx > 0 {
 			key = append([]byte(nil), leaf.c.Keys[idx-1]...)
@@ -49,6 +49,7 @@ func (t *Tree) predecessor(bound []byte) (key, val []byte, ok bool, err error) {
 		}
 		cur = low
 	}
+	t.traverseExhausted()
 	return nil, nil, false, fmt.Errorf("blinktree: predecessor search live-locked")
 }
 
@@ -97,7 +98,7 @@ restart:
 			// Choose the rightmost child with any key space below bound.
 			ci := len(n.c.Children) - 1
 			if bound != nil {
-				ci = firstAtLeast(t.cmp, n.c.Keys, bound) - 1
+				ci = lowerBound(t.cmp, n.c.Keys, bound) - 1
 				if ci < 0 {
 					// Even keys[0] >= bound: nothing below bound here.
 					// (Only possible at the leftmost edge, where keys[0]
@@ -126,6 +127,7 @@ restart:
 			n = m
 		}
 	}
+	t.traverseExhausted()
 	return nil, nil, fmt.Errorf("blinktree: descendPred live-locked")
 }
 
@@ -250,18 +252,4 @@ func (t *Tree) Min() (key, val []byte, err error) {
 		return nil, nil, ErrKeyNotFound
 	}
 	return rk, rv, nil
-}
-
-// firstAtLeast returns the index of the first key >= bound under cmp.
-func firstAtLeast(cmp Compare, keys [][]byte, bound []byte) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cmp(keys[mid], bound) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKeySearch measures the shared in-node binary search helpers that
+// every traversal step funnels through (satellite of the optimistic read
+// path: one descent is a handful of these plus pointer chases).
+func BenchmarkKeySearch(b *testing.B) {
+	cmp := bytes.Compare
+	for _, n := range []int{16, 64, 256} {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%06d", i*3))
+		}
+		probe := make([][]byte, 64)
+		for i := range probe {
+			probe[i] = []byte(fmt.Sprintf("key-%06d", (i*97)%(n*3)))
+		}
+		b.Run(fmt.Sprintf("lowerBound/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lowerBound(cmp, keys, probe[i%len(probe)])
+			}
+		})
+		b.Run(fmt.Sprintf("keySearch/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keySearch(cmp, keys, probe[i%len(probe)])
+			}
+		})
+		b.Run(fmt.Sprintf("childIndex/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				childIndex(cmp, keys, probe[i%len(probe)])
+			}
+		})
+	}
+}

@@ -385,6 +385,9 @@ func (t *Tree) growLocked(a action) {
 			panic(fmt.Sprintf("blinktree: logging grow: %v", err))
 		}
 	}
+	// The new root is still private (nothing points at it); publish its
+	// routing snapshot before the anchor makes it reachable.
+	root.publishRoute()
 	t.anchor.root = root.id
 	t.anchor.level = root.c.Level
 	t.c.grows.Add(1)

@@ -75,6 +75,10 @@ func (t *Tree) splitLocked(n *node, parent ref, dd uint64, dx uint64) error {
 	if err := t.logSplit(n, right); err != nil {
 		return err
 	}
+	// The new half becomes reachable (via n's side pointer) once the
+	// caller's exclusive latch on n is released; its routing snapshot must
+	// be in place by then. n's own snapshot is republished at that release.
+	right.publishRoute()
 	t.c.splits.Add(1)
 
 	a := action{

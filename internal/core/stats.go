@@ -16,8 +16,14 @@ type Stats struct {
 	Scans    uint64
 
 	// Traversal behaviour.
-	SideTraversals uint64 // rightward moves during traversal
-	Restarts       uint64 // traversals restarted from the root
+	SideTraversals    uint64 // rightward moves during traversal
+	Restarts          uint64 // traversals restarted from the root
+	TraverseExhausted uint64 // traversals that hit the restart budget (live-lock)
+
+	// Optimistic read path (latch-free descent, see optread.go).
+	OptReadAttempts  uint64 // optimistic descents started
+	OptReadRestarts  uint64 // attempts invalidated (version/fence/dead check)
+	OptReadFallbacks uint64 // reads that fell back to the latched traversal
 
 	// Splits and postings.
 	Splits         uint64 // first half splits performed inline
@@ -67,7 +73,8 @@ type Stats struct {
 // counters is the atomic backing for Stats.
 type counters struct {
 	searches, inserts, updates, deletes, scans       atomic.Uint64
-	sideTraversals, restarts                         atomic.Uint64
+	sideTraversals, restarts, traverseExhausted      atomic.Uint64
+	optAttempts, optRestarts, optFallbacks           atomic.Uint64
 	splits, postsEnqueued, postsDone, postsDuplicate atomic.Uint64
 	postsAbortDX, postsAbortDD, postsAbortID         atomic.Uint64
 	postsRequeued                                    atomic.Uint64
@@ -92,6 +99,10 @@ func (c *counters) snapshot() Stats {
 		Scans:             c.scans.Load(),
 		SideTraversals:    c.sideTraversals.Load(),
 		Restarts:          c.restarts.Load(),
+		TraverseExhausted: c.traverseExhausted.Load(),
+		OptReadAttempts:   c.optAttempts.Load(),
+		OptReadRestarts:   c.optRestarts.Load(),
+		OptReadFallbacks:  c.optFallbacks.Load(),
 		Splits:            c.splits.Load(),
 		PostsEnqueued:     c.postsEnqueued.Load(),
 		PostsDone:         c.postsDone.Load(),

@@ -413,6 +413,19 @@ func (q *todoQueue) run(a action) {
 	q.finish(a)
 }
 
+// runGated is run behind the checkpoint gate: workers and inline assists
+// mutate pages concurrently with everything else, so a sharp checkpoint
+// must be able to quiesce them exactly like foreground operations (the
+// pool's FlushAll contract: no page may be modified during the flush).
+// Drain paths use the ungated run — BulkLoad drains while holding the gate
+// exclusively on the same goroutine.
+func (q *todoQueue) runGated(a action) {
+	q.t.ckpt.RLock()
+	q.t.processActionGated(a)
+	q.t.ckpt.RUnlock()
+	q.finish(a)
+}
+
 func (q *todoQueue) worker() {
 	defer q.wg.Done()
 	for {
@@ -420,7 +433,7 @@ func (q *todoQueue) worker() {
 			return
 		}
 		if a, ok := q.tryPop(); ok {
-			q.run(a)
+			q.runGated(a)
 			continue
 		}
 		q.wakeMu.Lock()
@@ -446,7 +459,7 @@ func (q *todoQueue) maybeAssist() {
 	}
 	if a, ok := q.tryPop(); ok {
 		q.t.c.todoInlineAssists.Add(1)
-		q.run(a)
+		q.runGated(a)
 	}
 }
 

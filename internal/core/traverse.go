@@ -134,6 +134,7 @@ restart:
 			mode = childMode
 		}
 	}
+	t.traverseExhausted()
 	return nil, nil, fmt.Errorf("blinktree: traversal live-locked after %d restarts", maxTraverseRestarts)
 }
 

@@ -64,6 +64,9 @@ type Tree struct {
 	cmp      Compare
 	bytewise bool
 
+	// optReads enables the latch-free optimistic read path (optread.go).
+	optReads bool
+
 	anchor anchor
 	dx     deleteState
 	todo   *todoQueue
@@ -124,6 +127,9 @@ func (cd codec) Unmarshal(data []byte) (buffer.Object, error) {
 	}
 	n := &node{id: c.ID, c: *c}
 	n.latch.SetRecorder(&cd.t.latchRec)
+	// The node is private until the pool publishes the frame; optimistic
+	// readers arriving later need the routing snapshot in place.
+	n.publishRoute()
 	return n, nil
 }
 
@@ -148,6 +154,7 @@ func New(opts Options) (*Tree, error) {
 		t.bytewise = true
 	}
 	t.active.m = make(map[uint64]*Txn)
+	t.optReads = opts.OptimisticReads == ReadPathOptimistic
 
 	// Observability: resolve the config (the obstrace build tag forces full
 	// tracing; the obsoff tag compiles all of it out), then point every
@@ -275,8 +282,14 @@ func (t *Tree) pinLatch(id page.PageID, m latch.Mode) (*node, error) {
 	return n, nil
 }
 
-// unlatchUnpin releases the latch and the pin.
+// unlatchUnpin releases the latch and the pin. Every exclusive release of
+// an index node funnels through here, so this is where the routing snapshot
+// for optimistic readers is republished — after the mutation, before the
+// version word goes even again inside Release.
 func (t *Tree) unlatchUnpin(n *node, m latch.Mode, dirty bool) {
+	if m == latch.Exclusive {
+		n.publishRoute()
+	}
 	n.latch.Release(m)
 	t.pool.Unpin(n.id, dirty)
 }
@@ -557,11 +570,17 @@ func (t *Tree) validateEntry(key, val []byte) error {
 // method of [15] also requires pages to be empty."); the paper's method
 // consolidates at any utilization bound.
 func (t *Tree) underutilized(n *node) bool {
+	return t.underutilizedRaw(n.size(), len(n.c.Keys))
+}
+
+// underutilizedRaw is the underutilized policy on raw numbers, shared with
+// the optimistic read path (which works from routing snapshots, not nodes).
+func (t *Tree) underutilizedRaw(size, nkeys int) bool {
 	if t.opts.MinFill <= 0 {
 		return false
 	}
 	if t.opts.DeletePolicy == Drain || t.opts.SerializeSMO {
-		return len(n.c.Keys) == 0
+		return nkeys == 0
 	}
-	return float64(n.size()) < t.opts.MinFill*float64(t.opts.PageSize)
+	return float64(size) < t.opts.MinFill*float64(t.opts.PageSize)
 }

@@ -19,6 +19,7 @@ package latch
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -84,6 +85,15 @@ type Latch struct {
 	// writers are not starved by a stream of readers.
 	waitingX int
 
+	// version is a seqlock-style sequence word for optimistic readers: it
+	// is bumped whenever exclusive ownership is gained (Acquire/TryAcquire
+	// in X mode, Promote, TryPromote) and again when it is given up
+	// (Release(Exclusive), Demote), so it is odd exactly while an X holder
+	// exists. An optimistic reader samples it with OptVersion, reads the
+	// protected state through its own atomics, and calls Validate to learn
+	// whether any exclusive ownership intervened.
+	version atomic.Uint64
+
 	// rec is the statistics sink; nil falls back to the package globals.
 	// Set once (SetRecorder) before the latch sees traffic.
 	rec *Recorder
@@ -131,6 +141,7 @@ func (l *Latch) grantLocked(m Mode) {
 		l.update = true
 	case Exclusive:
 		l.excl = true
+		l.version.Add(1) // now odd: optimistic readers back off
 	}
 }
 
@@ -214,6 +225,7 @@ func (l *Latch) Release(m Mode) {
 			panic("latch: Release(Exclusive) with no exclusive holder")
 		}
 		l.excl = false
+		l.version.Add(1) // even again: exclusive ownership is over
 	}
 	l.grant.Broadcast()
 	l.mu.Unlock()
@@ -236,6 +248,7 @@ func (l *Latch) Promote() {
 	l.update = false
 	l.promoting = false
 	l.excl = true
+	l.version.Add(1)
 	l.mu.Unlock()
 	l.sink().recordPromote()
 }
@@ -256,6 +269,7 @@ func (l *Latch) TryPromote() bool {
 	}
 	l.update = false
 	l.excl = true
+	l.version.Add(1)
 	l.mu.Unlock()
 	l.sink().recordPromote()
 	return true
@@ -273,8 +287,25 @@ func (l *Latch) Demote() {
 	}
 	l.excl = false
 	l.readers++
+	l.version.Add(1)
 	l.grant.Broadcast()
 	l.mu.Unlock()
+}
+
+// OptVersion samples the latch's version word for an optimistic read. ok is
+// false while an exclusive holder exists (the word is odd); a reader seeing
+// ok=false should retry or fall back to a real latch. The returned value is
+// only meaningful for a later Validate.
+func (l *Latch) OptVersion() (uint64, bool) {
+	v := l.version.Load()
+	return v, v&1 == 0
+}
+
+// Validate reports whether no exclusive ownership has been gained since
+// OptVersion returned v: the optimistic reader's view is as good as one
+// taken under a Shared latch held across the same window.
+func (l *Latch) Validate(v uint64) bool {
+	return l.version.Load() == v
 }
 
 // Held returns a best-effort snapshot of the latch occupancy, for tests and

@@ -401,3 +401,76 @@ func TestRecorderSink(t *testing.T) {
 		t.Fatalf("aggregate after unregister: %+v", agg)
 	}
 }
+
+func TestVersionWord(t *testing.T) {
+	var l Latch
+	v0, ok := l.OptVersion()
+	if !ok {
+		t.Fatal("fresh latch version is odd")
+	}
+	if !l.Validate(v0) {
+		t.Fatal("unchanged latch fails validation")
+	}
+
+	// Shared traffic never moves the version.
+	l.Acquire(Shared)
+	if _, ok := l.OptVersion(); !ok {
+		t.Fatal("version odd under shared latch")
+	}
+	l.Release(Shared)
+	if !l.Validate(v0) {
+		t.Fatal("shared acquire/release changed the version")
+	}
+
+	// Exclusive ownership holds the version odd for its whole duration.
+	l.Acquire(Exclusive)
+	if _, ok := l.OptVersion(); ok {
+		t.Fatal("version even while exclusively latched")
+	}
+	if l.Validate(v0) {
+		t.Fatal("stale version validated across an exclusive acquire")
+	}
+	l.Release(Exclusive)
+	v1, ok := l.OptVersion()
+	if !ok {
+		t.Fatal("version odd after exclusive release")
+	}
+	if v1 == v0 {
+		t.Fatal("exclusive cycle did not advance the version")
+	}
+
+	// Promotion from Update opens an odd window; demotion closes it.
+	l.Acquire(Update)
+	if _, ok := l.OptVersion(); !ok {
+		t.Fatal("version odd under update latch (update holders don't modify)")
+	}
+	l.Promote()
+	if _, ok := l.OptVersion(); ok {
+		t.Fatal("version even after promotion to exclusive")
+	}
+	l.Demote() // demotes to Shared
+	v2, ok := l.OptVersion()
+	if !ok {
+		t.Fatal("version odd after demote")
+	}
+	if v2 == v1 {
+		t.Fatal("promote/demote cycle did not advance the version")
+	}
+	l.Release(Shared)
+	if !l.Validate(v2) {
+		t.Fatal("shared release changed the version")
+	}
+
+	// TryPromote counts as an exclusive grant when it succeeds.
+	l.Acquire(Update)
+	if !l.TryPromote() {
+		t.Fatal("uncontended TryPromote failed")
+	}
+	if _, ok := l.OptVersion(); ok {
+		t.Fatal("version even after TryPromote")
+	}
+	l.Release(Exclusive)
+	if v3, _ := l.OptVersion(); v3 == v2 {
+		t.Fatal("TryPromote cycle did not advance the version")
+	}
+}

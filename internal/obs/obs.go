@@ -156,6 +156,12 @@ const (
 	// EvRelatchAbort: a transaction aborted because delete state changed
 	// during the §2.4 re-latch.
 	EvRelatchAbort
+	// EvOptFallback: an optimistic (latch-free) read exhausted its restart
+	// budget and fell back to the pessimistic latch-coupled traversal.
+	EvOptFallback
+	// EvTraverseExhausted: a latch-coupled traversal hit its restart
+	// budget (live-lock); the operation failed.
+	EvTraverseExhausted
 )
 
 // String returns the event kind's wire name (used in trace dumps).
@@ -189,6 +195,10 @@ func (k EventKind) String() string {
 		return "deadlock-victim"
 	case EvRelatchAbort:
 		return "relatch-abort"
+	case EvOptFallback:
+		return "opt-fallback"
+	case EvTraverseExhausted:
+		return "traverse-exhausted"
 	default:
 		return "event?"
 	}
@@ -196,7 +206,7 @@ func (k EventKind) String() string {
 
 // eventKindFromString is the inverse of EventKind.String, for trace decode.
 func eventKindFromString(s string) EventKind {
-	for k := EvEnqueued; k <= EvRelatchAbort; k++ {
+	for k := EvEnqueued; k <= EvTraverseExhausted; k++ {
 		if k.String() == s {
 			return k
 		}

@@ -130,6 +130,10 @@ func FormatEvent(e Event) string {
 		if e.Page != 0 {
 			s += fmt.Sprintf(" page=%d", e.Page)
 		}
+	case EvOptFallback, EvTraverseExhausted:
+		if e.Page != 0 {
+			s += fmt.Sprintf(" page=%d level=%d", e.Page, e.Level)
+		}
 	}
 	return s
 }
