@@ -72,6 +72,7 @@ func ExpvarDoc(m blinktree.Metrics) map[string]any {
 			"appends": m.LogAppends,
 			"forces":  m.LogForces,
 		},
+		"recovery": m.Recovery,
 	}
 	if m.Obs == nil {
 		return doc
@@ -311,6 +312,37 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 
 	p.header("blinktree_height", "Current root level.", "gauge")
 	p.printf("blinktree_height %d\n", m.Height)
+
+	// Recovery counters are fixed at open time; exporting them as a stable
+	// series set lets dashboards alert on torn pages or full-redo retries
+	// after a crash-restart.
+	rs := m.Recovery
+	p.header("blinktree_recovered", "1 when the last open replayed a log, 0 for a fresh start.", "gauge")
+	recovered := 0
+	if rs.Recovered {
+		recovered = 1
+	}
+	p.printf("blinktree_recovered %d\n", recovered)
+	p.header("blinktree_recovery_total", "Work performed by crash recovery at the last open.", "counter")
+	for _, v := range []struct {
+		event string
+		n     int
+	}{
+		{"records_scanned", rs.RecordsScanned},
+		{"smo_redone", rs.SMOsRedone},
+		{"recop_redone", rs.RecOpsRedone},
+		{"skipped_by_lsn", rs.SkippedByLSN},
+		{"images_applied", rs.ImagesApplied},
+		{"allocs_replayed", rs.AllocsReplayed},
+		{"deallocs_replayed", rs.DeallocsReplayed},
+		{"losers_undone", rs.LosersUndone},
+		{"corrupt_pages", rs.CorruptPages},
+		{"full_redo_retries", rs.FullRedoRetries},
+	} {
+		p.printf("blinktree_recovery_total{event=%q} %d\n", v.event, v.n)
+	}
+	p.header("blinktree_recovery_torn_tail_bytes", "Trailing bytes past the last valid WAL frame at the last open.", "gauge")
+	p.printf("blinktree_recovery_torn_tail_bytes %d\n", rs.TornTailBytes)
 
 	if m.Obs != nil {
 		p.header("blinktree_op_latency_seconds", "Operation latency by class.", "histogram")

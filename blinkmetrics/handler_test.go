@@ -97,6 +97,10 @@ func TestHandlerPrometheus(t *testing.T) {
 		`blinktree_op_latency_seconds_count{op="search"} 100`,
 		`blinktree_action_latency_seconds_bucket{action="post",le="+Inf"}`,
 		"# TYPE blinktree_op_latency_seconds histogram",
+		"blinktree_recovered 0",
+		`blinktree_recovery_total{event="records_scanned"} 0`,
+		`blinktree_recovery_total{event="full_redo_retries"} 0`,
+		"blinktree_recovery_torn_tail_bytes 0",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("missing series %q", series)
@@ -165,5 +169,43 @@ func TestWriteExpvarDisabledTree(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `blinktree_smo_aborts_total{action="post",cause="dd"} 0`) {
 		t.Errorf("zero-valued abort series must still be emitted")
+	}
+}
+
+// TestPrometheusRecoveredTree reopens a durable tree and checks that the
+// recovery series reflect the replay (Recovered gauge flips to 1 and the
+// scan counter is nonzero).
+func TestPrometheusRecoveredTree(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := blinktree.Open(blinktree.Options{Path: dir, PageSize: 512})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if err := tr.Put(k, k); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	tr, err = blinktree.Open(blinktree.Options{Path: dir, PageSize: 512})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer tr.Close()
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+	body := sb.String()
+	if !strings.Contains(body, "blinktree_recovered 1") {
+		t.Errorf("recovered gauge not set after reopen")
+	}
+	if strings.Contains(body, `blinktree_recovery_total{event="records_scanned"} 0`) {
+		t.Errorf("records_scanned is zero after replaying a non-empty log")
 	}
 }

@@ -224,6 +224,11 @@ func Open(opts Options) (*Tree, error) {
 }
 
 // Put inserts or replaces the record under key. Keys must be non-empty.
+//
+// Durability: the operation is write-ahead logged but the log is not
+// forced, so a crash immediately after Put may lose it. It is guaranteed
+// durable once any later FlushLog, Checkpoint, Close or transaction Commit
+// succeeds; recovery never applies it partially.
 func (t *Tree) Put(key, val []byte) error { return t.inner.Put(key, val) }
 
 // Get returns a copy of the value under key, or ErrKeyNotFound.
@@ -233,6 +238,9 @@ func (t *Tree) Get(key []byte) ([]byte, error) { return t.inner.Get(key) }
 func (t *Tree) Has(key []byte) (bool, error) { return t.inner.Has(key) }
 
 // Delete removes the record under key, or returns ErrKeyNotFound.
+//
+// Durability: same contract as Put — logged immediately, durable at the
+// next successful FlushLog, Checkpoint, Close or Commit.
 func (t *Tree) Delete(key []byte) error { return t.inner.Delete(key) }
 
 // Scan calls fn for each record in [start, end) in key order; fn returning
@@ -322,7 +330,17 @@ func (t *Tree) Maintain() { t.inner.DrainTodo() }
 
 // Checkpoint flushes all dirty pages and writes a checkpoint record,
 // bounding recovery time. No-op for volatile trees.
+//
+// Durability: a successful Checkpoint guarantees every operation that
+// completed before the call survives any later crash.
 func (t *Tree) Checkpoint() error { return t.inner.Checkpoint() }
+
+// FlushLog forces every write-ahead log record appended so far to stable
+// storage without taking a checkpoint. Cheaper than Checkpoint (no page
+// flush); a successful return guarantees every completed operation survives
+// any later crash, at the cost of a longer redo at the next open. No-op for
+// volatile trees.
+func (t *Tree) FlushLog() error { return t.inner.FlushLog() }
 
 // Verify checks the tree's structural invariants. The tree must be
 // quiescent (no concurrent operations).
@@ -330,6 +348,32 @@ func (t *Tree) Verify() error {
 	t.inner.DrainTodo()
 	return t.inner.Verify()
 }
+
+// DeepReport is the audit summary returned by VerifyDeep: per-level node
+// counts, record totals, live-versus-reachable page accounting, delete-state
+// placement, and the durable log's LSN range and torn-tail observation.
+type DeepReport = core.DeepReport
+
+// VerifyDeep runs Verify plus the deep audits behind blinkcheck -deep: a
+// whole-store page scan (every allocated page must checksum-verify, name
+// itself and be reachable — an unreachable page is a leak), a delete-state
+// placement audit (nonzero D_D only on level-1 nodes, paper §4), and WAL
+// tail sanity (dense LSNs from 1; torn tails reported, not failed). The
+// tree must be quiescent; pending maintenance is drained first.
+func (t *Tree) VerifyDeep() (*DeepReport, error) {
+	t.inner.DrainTodo()
+	return t.inner.VerifyDeep()
+}
+
+// RecoveryStats reports what crash recovery found and did when the tree was
+// opened: records scanned, redo/undo work, torn pages detected and whether
+// the bounded redo had to restart from the head of the log. Recovered is
+// false when the tree started fresh or without a log.
+type RecoveryStats = core.RecoveryStats
+
+// RecoveryStats returns the recovery statistics recorded at Open; the
+// zero value for volatile or freshly created trees.
+func (t *Tree) RecoveryStats() RecoveryStats { return t.inner.RecoveryStats() }
 
 // Stats returns a snapshot of internal activity counters.
 func (t *Tree) Stats() Stats { return Stats(t.inner.Stats()) }
@@ -363,6 +407,10 @@ func (t *Tree) Height() int { return int(t.inner.Height()) }
 func (t *Tree) Pages() int { return t.inner.StoreStats().LivePages }
 
 // Close flushes state, stops maintenance workers and releases resources.
+//
+// Durability: a successful Close makes every completed operation durable
+// (pages flushed, log forced, store synced); reopening the same Path
+// recovers the tree without redo work beyond the last checkpoint.
 func (t *Tree) Close() error {
 	err := t.inner.Close()
 	if t.devClose != nil {
@@ -397,6 +445,10 @@ func (x *Txn) Savepoint() int { return x.inner.Savepoint() }
 func (x *Txn) RollbackTo(savepoint int) error { return x.inner.RollbackTo(savepoint) }
 
 // Commit makes the transaction durable and releases its locks.
+//
+// Durability: Commit forces the log. On successful return the
+// transaction's writes — and every operation completed before it — survive
+// any later crash; recovery rolls back transactions that never committed.
 func (x *Txn) Commit() error { return x.inner.Commit() }
 
 // Abort rolls the transaction back and releases its locks.

@@ -43,6 +43,13 @@ func TestCommandLineTools(t *testing.T) {
 		t.Fatalf("blinkcheck output:\n%s", out)
 	}
 
+	out = run("run", "./cmd/blinkcheck", "-path", dir, "-pagesize", "1024", "-deep")
+	for _, want := range []string{"ok: deep audit clean", "records: 501", "no leaks", "dense"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("blinkcheck -deep missing %q:\n%s", want, out)
+		}
+	}
+
 	out = run("run", "./cmd/blinkdump", "-path", dir, "-pagesize", "1024", "-tree", "-wal")
 	if !strings.Contains(out, "write-ahead log:") || !strings.Contains(out, "tree structure") {
 		t.Fatalf("blinkdump output:\n%s", out)

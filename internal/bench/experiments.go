@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"blinktree/internal/core"
+	"blinktree/internal/sim"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
@@ -698,6 +699,53 @@ func E12ReadPath(scale Scale) (*Table, error) {
 	return t, nil
 }
 
+// E13CrashConsistency runs the crash-point enumeration harness
+// (internal/sim): a seeded workload replayed once per persistence-operation
+// boundary, crashed there, rebooted and recovered, with structural and
+// shadow-model verification after every recovery. One row per fault-model
+// configuration; a nonzero violations cell is a correctness failure, not a
+// performance result.
+func E13CrashConsistency(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "crash-point enumeration: recover-and-verify sweep",
+		Header: []string{"faults", "seed", "crash points", "violations",
+			"torn pages", "torn tails", "smo redo", "recop redo", "losers undone", "full redo retries"},
+	}
+	// Scale maps onto workload length: Quick ~ the tier-1 smoke, Full adds
+	// seeds and a longer history.
+	steps, seeds := 150, []int64{1}
+	if scale.Ops > Quick.Ops {
+		steps, seeds = 250, []int64{1, 2, 3}
+	}
+	for _, torn := range []bool{false, true} {
+		name := "clean-cut"
+		if torn {
+			name = "torn-writes"
+		}
+		for _, seed := range seeds {
+			rep, err := sim.Run(sim.Config{
+				Seed:           seed,
+				Steps:          steps,
+				TornPageWrites: torn,
+				TornWALTail:    torn,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E13 %s/seed=%d: %w", name, seed, err)
+			}
+			t.AddRow(name, seed, rep.CrashPoints, len(rep.Violations),
+				rep.TornPages, rep.TornTails, rep.SMOsRedone, rep.RecOpsRedone,
+				rep.LosersUndone, rep.FullRedoRetries)
+			for _, v := range rep.Violations {
+				t.Note("VIOLATION %s seed=%d: %s", name, seed, v)
+			}
+		}
+	}
+	t.Note("every crash point: reboot, recover, DrainTodo, VerifyDeep, shadow-model prefix equivalence")
+	t.Note("violations must be zero; nonzero rows are crash-consistency bugs, not slow paths")
+	return t, nil
+}
+
 // Experiments maps experiment IDs to their implementations.
 var Experiments = map[string]func(Scale) (*Table, error){
 	"E1":  E1Throughput,
@@ -712,7 +760,8 @@ var Experiments = map[string]func(Scale) (*Table, error){
 	"E10": E10Overhead,
 	"E11": E11Scheduler,
 	"E12": E12ReadPath,
+	"E13": E13CrashConsistency,
 }
 
 // ExperimentIDs lists experiment IDs in order.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}

@@ -337,8 +337,28 @@ func TestE12ReadPathShape(t *testing.T) {
 	}
 }
 
+func TestE13CrashConsistencyShape(t *testing.T) {
+	tb, err := E13CrashConsistency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderToTestLog(t, tb)
+	// 2 fault modes x 1 seed at sub-Quick scale.
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if cellFloat(t, row[2]) == 0 {
+			t.Fatalf("row %d: no crash points enumerated", i)
+		}
+		if cellFloat(t, row[3]) != 0 {
+			t.Fatalf("row %d: crash-consistency violations: %v", i, row)
+		}
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 12 {
+	if len(ExperimentIDs) != 13 {
 		t.Fatalf("%d experiment IDs", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {

@@ -28,6 +28,10 @@ type TreeMetrics struct {
 	LogAppends uint64
 	LogForces  uint64
 
+	// Recovery reports what crash recovery found and did at open time
+	// (Recovered false when the tree started fresh or without a log).
+	Recovery RecoveryStats
+
 	// Obs holds the latency histograms and trace-ring counters; nil when
 	// Options.Observability metrics are disabled.
 	Obs *obs.Snapshot
@@ -36,14 +40,15 @@ type TreeMetrics struct {
 // Snapshot gathers the tree's full metrics in one call.
 func (t *Tree) Snapshot() TreeMetrics {
 	m := TreeMetrics{
-		Stats:  t.Stats(),
-		Sched:  t.SchedulerStats(),
-		Latch:  t.latchRec.Snapshot(),
-		Pool:   t.pool.Snapshot(),
-		Store:  t.store.Stats(),
-		Locks:  t.locks.Snapshot(),
-		Height: t.Height(),
-		Obs:    t.obs.Snapshot(),
+		Stats:    t.Stats(),
+		Sched:    t.SchedulerStats(),
+		Latch:    t.latchRec.Snapshot(),
+		Pool:     t.pool.Snapshot(),
+		Store:    t.store.Stats(),
+		Locks:    t.locks.Snapshot(),
+		Height:   t.Height(),
+		Recovery: t.RecoveryStats(),
+		Obs:      t.obs.Snapshot(),
 	}
 	m.LogAppends, m.LogForces = t.LogStats()
 	return m

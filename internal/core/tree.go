@@ -88,6 +88,10 @@ type Tree struct {
 	// txnSeq issues transaction IDs (resumed above recovered IDs).
 	txnSeq atomic.Uint64
 
+	// recStats records what crash recovery found and did; written once
+	// during New (before the tree is shared) and read-only afterwards.
+	recStats RecoveryStats
+
 	// active tracks live transactions for checkpoint records.
 	active activeTxns
 
@@ -369,6 +373,10 @@ func (t *Tree) SchedulerStats() SchedulerStats { return t.todo.snapshot() }
 // DX returns the current global index-delete-state counter, for tests and
 // experiment reporting.
 func (t *Tree) DX() uint64 { return t.dx.v.Load() }
+
+// RecoveryStats returns what crash recovery found and did when this tree
+// was opened; the zero value (Recovered false) means no recovery ran.
+func (t *Tree) RecoveryStats() RecoveryStats { return t.recStats }
 
 // PoolStats returns buffer pool statistics.
 func (t *Tree) PoolStats() buffer.Stats { return t.pool.Snapshot() }

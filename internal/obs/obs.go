@@ -162,6 +162,16 @@ const (
 	// EvTraverseExhausted: a latch-coupled traversal hit its restart
 	// budget (live-lock); the operation failed.
 	EvTraverseExhausted
+	// EvRecoveryRedo: crash recovery completed its redo/undo passes; Page
+	// carries the number of records replayed, Dur the recovery wall time.
+	EvRecoveryRedo
+	// EvRecoveryTornPage: redo found a torn (checksum-failing) page image
+	// and repaired it from logged after-images; Page is the page ID.
+	EvRecoveryTornPage
+	// EvRecoveryTornTail: the log device found garbage past its last valid
+	// frame (an append interrupted by the power cut); Page carries the
+	// trailing byte count.
+	EvRecoveryTornTail
 )
 
 // String returns the event kind's wire name (used in trace dumps).
@@ -199,6 +209,12 @@ func (k EventKind) String() string {
 		return "opt-fallback"
 	case EvTraverseExhausted:
 		return "traverse-exhausted"
+	case EvRecoveryRedo:
+		return "recovery-redo"
+	case EvRecoveryTornPage:
+		return "recovery-torn-page"
+	case EvRecoveryTornTail:
+		return "recovery-torn-tail"
 	default:
 		return "event?"
 	}
@@ -206,7 +222,7 @@ func (k EventKind) String() string {
 
 // eventKindFromString is the inverse of EventKind.String, for trace decode.
 func eventKindFromString(s string) EventKind {
-	for k := EvEnqueued; k <= EvTraverseExhausted; k++ {
+	for k := EvEnqueued; k <= EvRecoveryTornTail; k++ {
 		if k.String() == s {
 			return k
 		}

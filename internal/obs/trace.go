@@ -134,6 +134,12 @@ func FormatEvent(e Event) string {
 		if e.Page != 0 {
 			s += fmt.Sprintf(" page=%d level=%d", e.Page, e.Level)
 		}
+	case EvRecoveryRedo:
+		s += fmt.Sprintf(" records=%d took=%s", e.Page, e.Dur)
+	case EvRecoveryTornPage:
+		s += fmt.Sprintf(" page=%d", e.Page)
+	case EvRecoveryTornTail:
+		s += fmt.Sprintf(" trailing_bytes=%d", e.Page)
 	}
 	return s
 }

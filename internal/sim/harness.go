@@ -1,0 +1,570 @@
+// Package sim is the crash-consistency harness: it drives a deterministic,
+// seeded workload against a tree mounted on a simulated power-cut disk
+// (storage.SimDisk), enumerates every persistence-operation boundary as a
+// crash point, and for each one replays the workload, crashes, reboots,
+// reopens the tree through recovery and verifies three properties:
+//
+//  1. structural integrity — Tree.Verify plus the VerifyDeep audits
+//     (leaf-chain order, fences, D_D placement, page leaks, WAL tail);
+//  2. no lost acknowledged writes — everything the workload was told is
+//     durable (successful Commit, FlushLog, Checkpoint or Close) is present
+//     after recovery;
+//  3. prefix consistency — the recovered key set equals the shadow model's
+//     state at SOME operation boundary between the last acknowledged point
+//     and the crash (unsynced tail operations may each survive or vanish,
+//     but never partially apply and never out of order).
+//
+// The harness is exercised by a bounded smoke test under `go test ./...`
+// (tier-1) and by the full seed/fault-mode sweep behind the
+// BLINKTREE_CRASHLOOP environment variable (the CI crashloop job).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"blinktree/internal/core"
+	"blinktree/internal/storage"
+)
+
+// Config parameterizes one crash-point enumeration sweep. The zero value is
+// usable: every field defaults to the values in withDefaults.
+type Config struct {
+	// Seed drives both the workload generator and the disk's survival
+	// lottery; a given (Config, code version) pair replays identically.
+	Seed int64
+
+	// PageSize and CacheSize shape the tree under test. The defaults (512,
+	// 8) are deliberately tiny: small pages force splits and consolidations
+	// within a short workload, and a small pool forces dirty-page
+	// write-backs between checkpoints, exercising the WAL rule.
+	PageSize  int
+	CacheSize int
+
+	// Steps is the workload length; Keys bounds the key domain (small
+	// enough that deletes find their targets and leaves go under-utilized).
+	Steps int
+	Keys  int
+
+	// MinFill is the consolidation threshold passed to the tree.
+	MinFill float64
+
+	// Stride enumerates every Stride-th crash point (1 = exhaustive).
+	Stride int
+
+	// TornPageWrites and TornWALTail enable the disk's sector-granular
+	// page tearing and torn-final-frame modes.
+	TornPageWrites bool
+	TornWALTail    bool
+
+	// MaxViolations caps how many failing crash points are described in
+	// the report before the sweep stops early (0 = default 10).
+	MaxViolations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 512
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 150
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.MinFill == 0 {
+		c.MinFill = 0.35
+	}
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	if c.MaxViolations == 0 {
+		c.MaxViolations = 10
+	}
+	return c
+}
+
+// Report aggregates one sweep: how many crash points were enumerated, what
+// fault modes actually fired, what recovery had to do, and every invariant
+// violation found (an empty Violations is the pass condition).
+type Report struct {
+	// Ops is the persistence-operation count of the crash-free run; crash
+	// points are enumerated over [1, Ops].
+	Ops int64
+
+	// CrashPoints is the number of crash points actually exercised.
+	CrashPoints int
+
+	// Violations describes each failing crash point, capped at
+	// Config.MaxViolations.
+	Violations []string
+
+	// TornPages / DroppedFrames / TornTails total the fault modes the disk
+	// injected across all crash points; a sweep that never tears a page
+	// or drops a frame is not testing much.
+	TornPages     int
+	DroppedFrames int
+	TornTails     int
+
+	// Recovery totals across all reopens.
+	FullRedoRetries int
+	CorruptPages    int
+	LosersUndone    int
+	SMOsRedone      int
+	RecOpsRedone    int
+}
+
+// Passed reports whether the sweep found no violations.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders a one-paragraph summary (used by the E13 experiment table
+// notes and test logs).
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"crash points %d over %d ops: %d violations; torn pages %d, dropped frames %d, torn tails %d; recovery: %d SMOs, %d recops, %d losers undone, %d corrupt pages, %d full-redo retries",
+		r.CrashPoints, r.Ops, len(r.Violations), r.TornPages, r.DroppedFrames,
+		r.TornTails, r.SMOsRedone, r.RecOpsRedone, r.LosersUndone,
+		r.CorruptPages, r.FullRedoRetries)
+}
+
+// simOp is one shadow-model mutation. A delete of an absent key is a no-op
+// in both the tree and the shadow, so ops can be recorded unconditionally.
+type simOp struct {
+	del      bool
+	key, val string
+}
+
+// group is the shadow model's atom of visibility: either a single
+// autocommit operation or a whole transaction. A group's effects appear in
+// the recovered tree all-or-nothing — autocommit ops are individually
+// logged, transactions become visible only if their commit record survived.
+// aborted groups (cleanly aborted or crashed mid-transaction before commit)
+// are never visible: recovery undoes them as losers.
+type group struct {
+	ops     []simOp
+	aborted bool
+}
+
+// shadow is the flat committed-effect model built while driving the
+// workload. groups[:acked] are guaranteed durable (the workload received a
+// successful Commit/FlushLog/Checkpoint/Close acknowledgement covering
+// them); groups[acked:] are the unsynced tail, each of which may or may not
+// have survived — but only as a prefix.
+type shadow struct {
+	groups []group
+	acked  int
+}
+
+// driver replays the seeded workload against one tree/disk pair, recording
+// the shadow model as it goes. Runs with the same Config draw the same
+// random sequence, so every crash run executes a prefix of the counting
+// run's operation stream.
+type driver struct {
+	cfg  Config
+	disk *storage.SimDisk
+	tree *core.Tree
+	rng  *rand.Rand
+	sh   shadow
+}
+
+func (d *driver) key() string {
+	return fmt.Sprintf("key-%04d", d.rng.Intn(d.cfg.Keys))
+}
+
+func (d *driver) val(step int) string {
+	return fmt.Sprintf("val-%04d-%08d-%024d", step, d.rng.Intn(1<<30), 0)
+}
+
+// crashed reports whether err (or the disk state) indicates the simulated
+// power cut, which ends the drive without being a violation.
+func (d *driver) crashed(err error) bool {
+	return d.disk.Crashed() || errors.Is(err, storage.ErrPowerCut)
+}
+
+// survivePowerCut converts a panic raised while the disk is crashed into a
+// normal return. The SMO machinery treats a log-append failure as fatal and
+// panics — which is faithful: a real power cut kills the process mid-SMO.
+// The harness models that death and proceeds to reboot and recovery. Panics
+// on a healthy disk are real bugs and propagate.
+func survivePowerCut(disk *storage.SimDisk, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if disk.Crashed() {
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// run drives the workload to completion or power cut. A non-nil return is
+// a real violation (an operation failed for a reason other than the cut).
+func (d *driver) run() error {
+	return survivePowerCut(d.disk, d.runSteps)
+}
+
+func (d *driver) runSteps() error {
+	for i := 0; i < d.cfg.Steps; i++ {
+		if d.disk.Crashed() {
+			return nil
+		}
+		if err := d.step(i); err != nil {
+			return err
+		}
+	}
+	if d.disk.Crashed() {
+		return nil
+	}
+	// Clean shutdown flushes everything: full acknowledgement.
+	if err := d.tree.Close(); err != nil {
+		if d.crashed(err) {
+			return nil
+		}
+		return fmt.Errorf("close: %w", err)
+	}
+	d.sh.acked = len(d.sh.groups)
+	return nil
+}
+
+// step executes one workload step. The mix is weighted toward mutations,
+// with enough maintenance drains to complete splits and consolidations and
+// enough durability points to move the acknowledged horizon.
+func (d *driver) step(i int) error {
+	r := d.rng.Intn(100)
+	switch {
+	case r < 42: // autocommit put
+		op := simOp{key: d.key(), val: d.val(i)}
+		return d.autocommit(op, d.tree.Put([]byte(op.key), []byte(op.val)))
+	case r < 64: // autocommit delete
+		op := simOp{del: true, key: d.key()}
+		err := d.tree.Delete([]byte(op.key))
+		if errors.Is(err, core.ErrKeyNotFound) {
+			err = nil // no-op in tree and shadow alike
+		}
+		return d.autocommit(op, err)
+	case r < 74: // transaction, committed
+		return d.txn(false)
+	case r < 78: // transaction, deliberately aborted
+		return d.txn(true)
+	case r < 84: // force the log: acknowledges every group so far
+		if err := d.tree.FlushLog(); err != nil {
+			if d.crashed(err) {
+				return nil
+			}
+			return fmt.Errorf("flushlog: %w", err)
+		}
+		d.sh.acked = len(d.sh.groups)
+		return nil
+	case r < 94: // maintenance: complete pending splits/consolidations
+		d.tree.DrainTodo()
+		return nil // a power cut inside the drain surfaces via disk.Crashed
+	default: // checkpoint: flush pages, sync store, log checkpoint record
+		if err := d.tree.Checkpoint(); err != nil {
+			if d.crashed(err) {
+				return nil
+			}
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		d.sh.acked = len(d.sh.groups)
+		return nil
+	}
+}
+
+// autocommit records a single-op group. On success the group is in the
+// unsynced tail (logged, visibility decided by the survival lottery at the
+// crash); on a power cut the op is the final "attempted" group — its log
+// record may or may not have been appended before the cut, so it may or may
+// not be visible, which the prefix check accommodates.
+func (d *driver) autocommit(op simOp, err error) error {
+	if err != nil && !d.crashed(err) {
+		return fmt.Errorf("autocommit %q: %w", op.key, err)
+	}
+	d.sh.groups = append(d.sh.groups, group{ops: []simOp{op}})
+	return nil
+}
+
+// txn runs one contained transaction (no other operations interleave with
+// it, so its log records are contiguous and the group model is exact).
+func (d *driver) txn(abort bool) error {
+	x, err := d.tree.Begin()
+	if err != nil {
+		if d.crashed(err) {
+			return nil
+		}
+		return fmt.Errorf("begin: %w", err)
+	}
+	g := group{}
+	n := 2 + d.rng.Intn(3)
+	for j := 0; j < n; j++ {
+		op := simOp{key: d.key()}
+		if d.rng.Intn(100) < 25 {
+			op.del = true
+			err = x.Delete([]byte(op.key))
+			if errors.Is(err, core.ErrKeyNotFound) {
+				err = nil
+			}
+		} else {
+			op.val = d.val(j)
+			err = x.Put([]byte(op.key), []byte(op.val))
+		}
+		if err != nil {
+			// A power cut mid-transaction means no commit record can ever
+			// become durable: the transaction is a loser, never visible.
+			// A clean in-run abort (lock or delete-state conflict) likewise.
+			if !d.crashed(err) {
+				_ = x.Abort()
+			}
+			g.aborted = true
+			d.sh.groups = append(d.sh.groups, g)
+			if d.crashed(err) {
+				return nil
+			}
+			return nil
+		}
+		g.ops = append(g.ops, op)
+	}
+	if abort {
+		g.aborted = true
+		d.sh.groups = append(d.sh.groups, g)
+		if err := x.Abort(); err != nil && !d.crashed(err) {
+			return fmt.Errorf("abort: %w", err)
+		}
+		return nil
+	}
+	err = x.Commit()
+	d.sh.groups = append(d.sh.groups, g)
+	switch {
+	case err == nil:
+		// Commit forces the log: this group and everything before it is
+		// acknowledged durable.
+		d.sh.acked = len(d.sh.groups)
+		return nil
+	case d.crashed(err):
+		// The commit record may have been appended before the cut; the
+		// group stays in the maybe-visible tail.
+		return nil
+	default:
+		return fmt.Errorf("commit: %w", err)
+	}
+}
+
+// newTree mounts a worker-less tree on the sim disk. WorkersNone keeps the
+// run single-threaded and deterministic: maintenance happens only inside
+// DrainTodo steps, so the persistence-operation stream is identical across
+// replays.
+func newTree(cfg Config, disk *storage.SimDisk) (*core.Tree, error) {
+	return core.New(core.Options{
+		PageSize:  cfg.PageSize,
+		CacheSize: cfg.CacheSize,
+		MinFill:   cfg.MinFill,
+		Workers:   core.WorkersNone,
+		Store:     disk.Store(),
+		LogDevice: disk.WAL(),
+	})
+}
+
+// checkRecovered verifies the recovered tree against the shadow model:
+// structural invariants first, then the acknowledged-prefix equivalence.
+func checkRecovered(t *core.Tree, sh *shadow) error {
+	t.DrainTodo()
+	if _, err := t.VerifyDeep(); err != nil {
+		return fmt.Errorf("verify-deep: %w", err)
+	}
+	rec, err := t.Records()
+	if err != nil {
+		return fmt.Errorf("records: %w", err)
+	}
+	return matchPrefix(sh, rec)
+}
+
+// matchPrefix checks that rec equals the shadow fold of groups[:g] for some
+// g in [acked, len(groups)]. It folds the acknowledged prefix, counts the
+// keys on which candidate and recovered disagree, then applies tail groups
+// one at a time, updating the disagreement count incrementally — one pass
+// over the workload regardless of where the match lands.
+func matchPrefix(sh *shadow, rec map[string][]byte) error {
+	cand := make(map[string]string)
+	apply := func(g group) {
+		if g.aborted {
+			return
+		}
+		for _, op := range g.ops {
+			if op.del {
+				delete(cand, op.key)
+			} else {
+				cand[op.key] = op.val
+			}
+		}
+	}
+	for _, g := range sh.groups[:sh.acked] {
+		apply(g)
+	}
+
+	matches := func(k string) bool {
+		cv, cok := cand[k]
+		rv, rok := rec[k]
+		return cok == rok && (!cok || cv == string(rv))
+	}
+	diff := 0
+	seen := make(map[string]struct{}, len(cand)+len(rec))
+	for k := range cand {
+		seen[k] = struct{}{}
+	}
+	for k := range rec {
+		seen[k] = struct{}{}
+	}
+	for k := range seen {
+		if !matches(k) {
+			diff++
+		}
+	}
+
+	applyTracked := func(g group) {
+		if g.aborted {
+			return
+		}
+		for _, op := range g.ops {
+			before := matches(op.key)
+			if op.del {
+				delete(cand, op.key)
+			} else {
+				cand[op.key] = op.val
+			}
+			if after := matches(op.key); after != before {
+				if after {
+					diff--
+				} else {
+					diff++
+				}
+			}
+		}
+	}
+	for g := sh.acked; ; g++ {
+		if diff == 0 {
+			return nil
+		}
+		if g >= len(sh.groups) {
+			break
+		}
+		applyTracked(sh.groups[g])
+	}
+	// No prefix matched. Distinguish the two failure classes for triage:
+	// a key wrong at the acknowledged prefix is a lost acknowledged write;
+	// otherwise the tail applied inconsistently (out of order or torn).
+	return fmt.Errorf("recovered state (%d keys) matches no shadow prefix in [acked=%d, %d]; %d keys disagree at the longest prefix",
+		len(rec), sh.acked, len(sh.groups), diff)
+}
+
+// Run executes one sweep: a crash-free counting run to learn the operation
+// total, then one crash-reboot-recover-verify cycle per enumerated crash
+// point. The returned error reports harness-level failures only (the
+// counting run itself failing); per-crash-point failures are collected in
+// Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{}
+
+	// Counting run: never crashes (CrashAt 0 disarms the trigger).
+	disk := storage.NewSimDisk(cfg.PageSize, storage.SimConfig{
+		Seed:           cfg.Seed,
+		SectorSize:     cfg.PageSize / 4,
+		TornPageWrites: cfg.TornPageWrites,
+		TornWALTail:    cfg.TornWALTail,
+	})
+	tree, err := newTree(cfg, disk)
+	if err != nil {
+		return rep, fmt.Errorf("sim: counting run open: %w", err)
+	}
+	d := &driver{cfg: cfg, disk: disk, tree: tree, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if err := d.run(); err != nil {
+		return rep, fmt.Errorf("sim: counting run: %w", err)
+	}
+	if disk.Crashed() {
+		return rep, fmt.Errorf("sim: counting run crashed without a crash point armed")
+	}
+	rep.Ops = disk.Ops()
+	// The crash-free run must also recover to exactly its own final state.
+	disk.Reboot()
+	if err := reopenAndCheck(cfg, disk, &d.sh, rep); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("crash-free run: %v", err))
+	}
+
+	for k := int64(1); k <= rep.Ops; k += int64(cfg.Stride) {
+		if len(rep.Violations) >= cfg.MaxViolations {
+			break
+		}
+		rep.CrashPoints++
+		if err := runCrashPoint(cfg, k, rep); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("crash point %d: %v", k, err))
+		}
+	}
+	return rep, nil
+}
+
+// runCrashPoint replays the workload with the power cut armed at op k,
+// reboots and verifies. Fault-mode and recovery counters accumulate into
+// rep regardless of outcome.
+func runCrashPoint(cfg Config, k int64, rep *Report) error {
+	disk := storage.NewSimDisk(cfg.PageSize, storage.SimConfig{
+		Seed:           cfg.Seed,
+		CrashAt:        k,
+		SectorSize:     cfg.PageSize / 4,
+		TornPageWrites: cfg.TornPageWrites,
+		TornWALTail:    cfg.TornWALTail,
+	})
+	sh := &shadow{}
+	tree, err := newTree(cfg, disk)
+	switch {
+	case err != nil && disk.Crashed():
+		// The cut fired while the initial open was formatting the tree:
+		// nothing was ever acknowledged, so recovery to any state up to
+		// and including the empty tree is correct.
+	case err != nil:
+		return fmt.Errorf("open: %w", err)
+	default:
+		d := &driver{cfg: cfg, disk: disk, tree: tree, rng: rand.New(rand.NewSource(cfg.Seed))}
+		if err := d.run(); err != nil {
+			tree.Abandon()
+			return err
+		}
+		if !disk.Crashed() {
+			// The workload is deterministic, so op k must be reached — the
+			// counting run performed rep.Ops >= k operations.
+			tree.Abandon()
+			return fmt.Errorf("crash point never fired (nondeterministic op stream?)")
+		}
+		tree.Abandon()
+		sh = &d.sh
+	}
+
+	disk.Reboot()
+	rep.TornPages += disk.TornPages()
+	rep.DroppedFrames += disk.DroppedFrames()
+	if torn, _ := disk.WAL().TailTorn(); torn {
+		rep.TornTails++
+	}
+	return reopenAndCheck(cfg, disk, sh, rep)
+}
+
+// reopenAndCheck runs recovery over the rebooted disk and verifies the
+// recovered tree against the shadow, folding recovery counters into rep.
+func reopenAndCheck(cfg Config, disk *storage.SimDisk, sh *shadow, rep *Report) error {
+	t, err := newTree(cfg, disk)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	defer t.Abandon()
+	rs := t.RecoveryStats()
+	rep.FullRedoRetries += rs.FullRedoRetries
+	rep.CorruptPages += rs.CorruptPages
+	rep.LosersUndone += rs.LosersUndone
+	rep.SMOsRedone += rs.SMOsRedone
+	rep.RecOpsRedone += rs.RecOpsRedone
+	return checkRecovered(t, sh)
+}

@@ -2,44 +2,39 @@ package storage
 
 import (
 	"errors"
-	"sync/atomic"
 
 	"blinktree/internal/page"
 )
 
-// ErrInjected is the error surfaced by a FaultyStore's injected failures.
+// ErrInjected is the error surfaced by injected failures (see Injector).
 var ErrInjected = errors.New("storage: injected fault")
 
-// FaultyStore wraps a Store and injects failures on demand. It exists for
-// fault-injection tests: the tree must surface clean errors — and remain
-// structurally intact — when the storage layer misbehaves.
+// FaultyStore wraps a Store and injects failures on demand through the
+// embedded Injector — the same injection surface SimStore uses, so
+// error-injection tests and crash-simulation tests are configured
+// identically. It exists for fault-injection tests: the tree must surface
+// clean errors — and remain structurally intact — when the storage layer
+// misbehaves.
+//
+// An injected failure is reported before the inner store is touched, so the
+// inner store's durable state is unchanged by the failed call.
 type FaultyStore struct {
-	Inner Store
+	Injector
 
-	failAllocs atomic.Int64 // fail the next N Allocate calls
-	failWrites atomic.Bool  // fail all Write calls while set
-	failReads  atomic.Bool  // fail all Read calls while set
+	// Inner is the wrapped store; all successful calls pass through to it.
+	Inner Store
 }
 
-// NewFaultyStore wraps inner.
+// NewFaultyStore wraps inner with an inactive Injector.
 func NewFaultyStore(inner Store) *FaultyStore { return &FaultyStore{Inner: inner} }
-
-// FailNextAllocs makes the next n Allocate calls fail.
-func (s *FaultyStore) FailNextAllocs(n int) { s.failAllocs.Store(int64(n)) }
-
-// SetFailWrites toggles Write failures.
-func (s *FaultyStore) SetFailWrites(v bool) { s.failWrites.Store(v) }
-
-// SetFailReads toggles Read failures.
-func (s *FaultyStore) SetFailReads(v bool) { s.failReads.Store(v) }
 
 // PageSize implements Store.
 func (s *FaultyStore) PageSize() int { return s.Inner.PageSize() }
 
 // Allocate implements Store.
 func (s *FaultyStore) Allocate() (page.PageID, error) {
-	if s.failAllocs.Add(-1) >= 0 {
-		return page.InvalidPage, ErrInjected
+	if err := s.allocErr(); err != nil {
+		return page.InvalidPage, err
 	}
 	return s.Inner.Allocate()
 }
@@ -52,16 +47,16 @@ func (s *FaultyStore) EnsureAllocated(id page.PageID) error { return s.Inner.Ens
 
 // Read implements Store.
 func (s *FaultyStore) Read(id page.PageID) ([]byte, error) {
-	if s.failReads.Load() {
-		return nil, ErrInjected
+	if err := s.readErr(); err != nil {
+		return nil, err
 	}
 	return s.Inner.Read(id)
 }
 
 // Write implements Store.
 func (s *FaultyStore) Write(id page.PageID, buf []byte) error {
-	if s.failWrites.Load() {
-		return ErrInjected
+	if err := s.writeErr(); err != nil {
+		return err
 	}
 	return s.Inner.Write(id, buf)
 }
@@ -73,7 +68,12 @@ func (s *FaultyStore) Allocated(id page.PageID) bool { return s.Inner.Allocated(
 func (s *FaultyStore) Stats() Stats { return s.Inner.Stats() }
 
 // Sync implements Store.
-func (s *FaultyStore) Sync() error { return s.Inner.Sync() }
+func (s *FaultyStore) Sync() error {
+	if err := s.syncErr(); err != nil {
+		return err
+	}
+	return s.Inner.Sync()
+}
 
 // Close implements Store.
 func (s *FaultyStore) Close() error { return s.Inner.Close() }

@@ -1,0 +1,64 @@
+package storage
+
+import "sync/atomic"
+
+// Injector is the storage layer's single fault-injection surface. It is
+// embedded by FaultyStore (toggle-style error injection against any inner
+// Store) and by SimStore (the crash-simulation store), so injected-error
+// tests and crash tests configure failures through one API instead of
+// per-wrapper toggles.
+//
+// All methods are safe for concurrent use; the zero value injects nothing.
+// Injected failures are clean errors (ErrInjected) reported before the
+// underlying operation runs: the store's durable state is never changed by
+// a failed call.
+type Injector struct {
+	failAllocs atomic.Int64 // fail the next N Allocate calls
+	failWrites atomic.Bool  // fail all Write calls while set
+	failReads  atomic.Bool  // fail all Read calls while set
+	failSyncs  atomic.Bool  // fail all Sync calls while set
+}
+
+// FailNextAllocs makes the next n Allocate calls fail with ErrInjected.
+func (i *Injector) FailNextAllocs(n int) { i.failAllocs.Store(int64(n)) }
+
+// SetFailWrites toggles Write failures (ErrInjected while set).
+func (i *Injector) SetFailWrites(v bool) { i.failWrites.Store(v) }
+
+// SetFailReads toggles Read failures (ErrInjected while set).
+func (i *Injector) SetFailReads(v bool) { i.failReads.Store(v) }
+
+// SetFailSyncs toggles Sync failures (ErrInjected while set).
+func (i *Injector) SetFailSyncs(v bool) { i.failSyncs.Store(v) }
+
+// allocErr consumes one scheduled Allocate failure, if any.
+func (i *Injector) allocErr() error {
+	if i.failAllocs.Add(-1) >= 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// writeErr reports the injected Write failure, if toggled.
+func (i *Injector) writeErr() error {
+	if i.failWrites.Load() {
+		return ErrInjected
+	}
+	return nil
+}
+
+// readErr reports the injected Read failure, if toggled.
+func (i *Injector) readErr() error {
+	if i.failReads.Load() {
+		return ErrInjected
+	}
+	return nil
+}
+
+// syncErr reports the injected Sync failure, if toggled.
+func (i *Injector) syncErr() error {
+	if i.failSyncs.Load() {
+		return ErrInjected
+	}
+	return nil
+}

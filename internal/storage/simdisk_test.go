@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blinktree/internal/page"
+)
+
+func fill(size int, b byte) []byte {
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestSimDiskSyncedWritesSurvive(t *testing.T) {
+	d := NewSimDisk(128, SimConfig{Seed: 1})
+	s := d.Store()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, fill(128, 0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// An unsynced overwrite may or may not survive; the synced one must.
+	if err := s.Write(id, fill(128, 0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashNow()
+	if _, err := s.Read(id); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("read while crashed: got %v, want ErrPowerCut", err)
+	}
+	d.Reboot()
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA && got[0] != 0xBB {
+		t.Fatalf("post-crash page is neither image: %x", got[0])
+	}
+	for _, b := range got[1:] {
+		if b != got[0] {
+			t.Fatalf("untorn config produced a mixed page")
+		}
+	}
+}
+
+func TestSimDiskGhostWritesDropped(t *testing.T) {
+	d := NewSimDisk(128, SimConfig{Seed: 7})
+	s := d.Store()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocation and write never covered by a Sync: the durable allocator
+	// header never knew the page, so its bytes are invisible after reboot.
+	if err := s.Write(id, fill(128, 0xCC)); err != nil {
+		t.Fatal(err)
+	}
+	d.Reboot()
+	if s.Allocated(id) {
+		t.Fatalf("unsynced allocation survived reboot")
+	}
+	if _, err := s.Read(id); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("ghost page read: got %v, want ErrNotAllocated", err)
+	}
+}
+
+func TestSimDiskCrashAtOpBoundary(t *testing.T) {
+	// Counting run: how many ops does the sequence cost?
+	count := NewSimDisk(128, SimConfig{Seed: 3})
+	seq := func(d *SimDisk) error {
+		s := d.Store()
+		id, err := s.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := s.Write(id, fill(128, 1)); err != nil {
+			return err
+		}
+		if err := d.WAL().Append([]byte("frame")); err != nil {
+			return err
+		}
+		if err := d.WAL().Sync(); err != nil {
+			return err
+		}
+		return s.Sync()
+	}
+	if err := seq(count); err != nil {
+		t.Fatal(err)
+	}
+	total := count.Ops()
+	if total != 5 {
+		t.Fatalf("op count: got %d, want 5", total)
+	}
+	// Crash at every boundary: op k fails, ops beyond fail, earlier applied.
+	for k := int64(1); k <= total; k++ {
+		d := NewSimDisk(128, SimConfig{Seed: 3, CrashAt: k})
+		err := seq(d)
+		if !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("crash at %d: got %v, want ErrPowerCut", k, err)
+		}
+		if d.Ops() != k {
+			t.Fatalf("crash at %d: counted %d ops", k, d.Ops())
+		}
+		d.Reboot()
+		// The WAL sync is op 4: at k<=4 the frame is durable only if the
+		// lottery kept it; at k=5 it must be durable.
+		frames, err := d.WAL().ReadDurable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 5 && len(frames) != 1 {
+			t.Fatalf("crash at 5: synced frame lost")
+		}
+		if k <= 3 && len(frames) > 1 {
+			t.Fatalf("crash at %d: phantom frames %d", k, len(frames))
+		}
+	}
+}
+
+func TestSimWALKeepsPrefix(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		d := NewSimDisk(128, SimConfig{Seed: seed})
+		w := d.WAL()
+		var appended [][]byte
+		for i := byte(0); i < 10; i++ {
+			f := []byte{i, i, i}
+			appended = append(appended, f)
+			if err := w.Append(f); err != nil {
+				t.Fatal(err)
+			}
+			if i == 4 {
+				if err := w.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		d.Reboot()
+		frames, err := w.ReadDurable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) < 5 {
+			t.Fatalf("seed %d: synced prefix lost: %d frames", seed, len(frames))
+		}
+		for i, f := range frames {
+			if !bytes.Equal(f, appended[i]) {
+				t.Fatalf("seed %d: frame %d is not a prefix element", seed, i)
+			}
+		}
+	}
+}
+
+func TestSimDiskTornPageWrite(t *testing.T) {
+	torn := 0
+	for seed := int64(0); seed < 64 && torn == 0; seed++ {
+		d := NewSimDisk(1024, SimConfig{Seed: seed, TornPageWrites: true, SectorSize: 256})
+		s := d.Store()
+		id, _ := s.Allocate()
+		if err := s.Write(id, fill(1024, 0x11)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(id, fill(1024, 0x22)); err != nil {
+			t.Fatal(err)
+		}
+		d.Reboot()
+		if d.TornPages() == 0 {
+			continue
+		}
+		torn++
+		got, err := s.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A torn page mixes whole sectors of the two images.
+		for off := 0; off < 1024; off += 256 {
+			b := got[off]
+			if b != 0x11 && b != 0x22 {
+				t.Fatalf("sector %d holds byte from neither image: %x", off/256, b)
+			}
+			for _, x := range got[off : off+256] {
+				if x != b {
+					t.Fatalf("tear not sector-aligned at %d", off)
+				}
+			}
+		}
+	}
+	if torn == 0 {
+		t.Fatalf("no seed in 64 produced a torn page")
+	}
+}
+
+func TestSimWALTornTailReported(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 64 && !found; seed++ {
+		d := NewSimDisk(128, SimConfig{Seed: seed, TornWALTail: true})
+		w := d.WAL()
+		for i := 0; i < 6; i++ {
+			if err := w.Append(fill(32, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Reboot()
+		if torn, n := w.TailTorn(); torn {
+			found = true
+			if n <= 0 || n >= 32 {
+				t.Fatalf("torn tail bytes out of range: %d", n)
+			}
+			frames, _ := w.ReadDurable()
+			if len(frames) >= 6 {
+				t.Fatalf("torn tail reported but all frames survived")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no seed in 64 produced a torn WAL tail")
+	}
+}
+
+func TestSimStoreSharesInjectorSurface(t *testing.T) {
+	d := NewSimDisk(128, SimConfig{Seed: 1})
+	s := d.Store()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFailWrites(true)
+	if err := s.Write(id, fill(128, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected write: got %v, want ErrInjected", err)
+	}
+	s.SetFailWrites(false)
+	s.FailNextAllocs(1)
+	if _, err := s.Allocate(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected alloc: got %v, want ErrInjected", err)
+	}
+	if _, err := s.Allocate(); err != nil {
+		t.Fatalf("alloc after injection consumed: %v", err)
+	}
+	if err := s.Write(id, fill(128, 1)); err != nil {
+		t.Fatalf("write after injection cleared: %v", err)
+	}
+}
+
+func TestSimDiskAllocatorRecyclesLIFO(t *testing.T) {
+	d := NewSimDisk(128, SimConfig{Seed: 1})
+	s := d.Store()
+	a, _ := s.Allocate()
+	b, _ := s.Allocate()
+	if err := s.Deallocate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deallocate(b); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Allocate()
+	if c != b {
+		t.Fatalf("LIFO recycle: got %d, want %d", c, b)
+	}
+	if err := s.EnsureAllocated(page.PageID(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().HighestPage; got != 9 {
+		t.Fatalf("frontier after EnsureAllocated(9): %d", got)
+	}
+}

@@ -71,6 +71,7 @@ type Stats struct {
 	HighestPage page.PageID
 }
 
+// String renders the counters on one line for logs and test output.
 func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d allocs=%d deallocs=%d live=%d highest=%d",
 		s.Reads, s.Writes, s.Allocs, s.Deallocs, s.LivePages, s.HighestPage)

@@ -9,19 +9,37 @@ import (
 	"sync"
 )
 
-// Device is the append-only byte store beneath the Log. Frames appended but
-// not yet synced may be lost at a crash; synced frames are durable.
+// Device is the append-only byte store beneath the Log.
+//
+// Durability contract: frames covered by a Sync are durable; frames
+// appended but not yet synced may be lost at a crash. What survives a
+// crash must be a clean prefix of the appended frames — a device may keep
+// some unsynced tail frames (an OS may have written them out on its own),
+// but never a frame whose predecessor was lost, because log analysis
+// depends on LSN order and on a commit record implying its transaction's
+// earlier records. FileDevice gets the prefix property for free: its frame
+// chain breaks at the first torn or corrupt frame.
 type Device interface {
-	// Append buffers one frame.
+	// Append buffers one frame. The frame is durable only after Sync.
 	Append(frame []byte) error
 	// Sync makes all appended frames durable.
 	Sync() error
-	// ReadDurable returns every durable frame in append order. Used at
-	// recovery; buffered-but-unsynced frames must not be returned by a
-	// device reopened after a crash.
+	// ReadDurable returns every durable frame in append order: a clean
+	// prefix of the appended frames (see the Device durability contract).
+	// Used at recovery.
 	ReadDurable() ([][]byte, error)
-	// Close releases resources.
+	// Close releases resources. Buffered frames are not implicitly synced.
 	Close() error
+}
+
+// TailReporter is the optional Device extension for torn-tail observation:
+// devices that can detect garbage past the last valid frame (a frame torn
+// by a power cut) report it here, and recovery surfaces it in the tree's
+// RecoveryStats. FileDevice and the crash-simulation device implement it.
+type TailReporter interface {
+	// TailTorn reports whether trailing bytes past the last valid frame
+	// were found, and how many.
+	TailTorn() (torn bool, trailingBytes int64)
 }
 
 // MemDevice is an in-memory Device with explicit crash simulation: Crash
@@ -85,12 +103,18 @@ func (d *MemDevice) Syncs() uint64 {
 func (d *MemDevice) Close() error { return nil }
 
 // FileDevice is a Device over an append-only file. Frames are framed as
-// u32 length + u32 crc32c + payload; a torn tail (partial final frame) is
-// tolerated at ReadDurable and treated as the end of the log.
+// u32 length + u32 crc32c + payload; a torn tail (partial or corrupt final
+// frame, as a power cut mid-append leaves behind) is tolerated at
+// ReadDurable, treated as the end of the log, and reported by TailTorn.
 type FileDevice struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+
+	// tornTail/tornBytes record the tail observation of the last
+	// ReadDurable: whether bytes past the last valid frame were found.
+	tornTail  bool
+	tornBytes int64
 }
 
 // OpenFileDevice opens or creates the log file at path.
@@ -118,7 +142,8 @@ func (d *FileDevice) Sync() error {
 }
 
 // ReadDurable implements Device. It re-reads the file from the start and
-// stops at the first torn or corrupt frame.
+// stops at the first torn or corrupt frame; any bytes past that point are
+// recorded as a torn tail (see TailTorn).
 func (d *FileDevice) ReadDurable() ([][]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -129,6 +154,7 @@ func (d *FileDevice) ReadDurable() ([][]byte, error) {
 	defer f.Close()
 	var frames [][]byte
 	var hdr [8]byte
+	var consumed int64
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
 			break // clean EOF or torn header: end of log
@@ -146,8 +172,22 @@ func (d *FileDevice) ReadDurable() ([][]byte, error) {
 		copy(frame, hdr[:])
 		copy(frame[8:], payload)
 		frames = append(frames, frame)
+		consumed += int64(8 + n)
+	}
+	if fi, err := f.Stat(); err == nil {
+		d.tornBytes = fi.Size() - consumed
+		d.tornTail = d.tornBytes > 0
 	}
 	return frames, nil
+}
+
+// TailTorn implements TailReporter: it reports the tail observation of the
+// most recent ReadDurable (trailing bytes past the last valid frame, left
+// by a frame append a power cut interrupted).
+func (d *FileDevice) TailTorn() (bool, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tornTail, d.tornBytes
 }
 
 // Close implements Device.

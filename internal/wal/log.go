@@ -181,3 +181,14 @@ func (l *Log) DurableRecords() ([]*Record, error) {
 	defer l.mu.Unlock()
 	return l.readAll()
 }
+
+// TailTorn reports the device's torn-tail observation (garbage bytes past
+// the last valid frame, left by a power cut mid-append), or zero values
+// when the device is not a TailReporter. Recovery surfaces it so operators
+// can tell a clean shutdown's log from one truncated by a crash.
+func (l *Log) TailTorn() (bool, int64) {
+	if tr, ok := l.dev.(TailReporter); ok {
+		return tr.TailTorn()
+	}
+	return false, 0
+}
