@@ -69,8 +69,12 @@ func ExpvarDoc(m blinktree.Metrics) map[string]any {
 		"locks":     m.Locks,
 		"height":    m.Height,
 		"wal": map[string]uint64{
-			"appends": m.LogAppends,
-			"forces":  m.LogForces,
+			"appends":              m.LogAppends,
+			"forces":               m.LogForces,
+			"group_commits":        m.WALGroup.Commits,
+			"group_immediate_acks": m.WALGroup.ImmediateAcks,
+			"group_forces":         m.WALGroup.Forces,
+			"group_max_batch":      m.WALGroup.MaxBatch,
 		},
 		"recovery": m.Recovery,
 	}
@@ -86,13 +90,15 @@ func ExpvarDoc(m blinktree.Metrics) map[string]any {
 		actions[a.String()] = histSummary(m.Obs.Actions[a])
 	}
 	doc["latency"] = map[string]any{
-		"ops":        ops,
-		"actions":    actions,
-		"page_load":  histSummary(m.Obs.PageLoad),
-		"writeback":  histSummary(m.Obs.WriteBack),
-		"log_append": histSummary(m.Obs.LogAppend),
-		"log_flush":  histSummary(m.Obs.LogFlush),
-		"lock_wait":  histSummary(m.Obs.LockWait),
+		"ops":         ops,
+		"actions":     actions,
+		"page_load":   histSummary(m.Obs.PageLoad),
+		"writeback":   histSummary(m.Obs.WriteBack),
+		"log_append":  histSummary(m.Obs.LogAppend),
+		"log_flush":   histSummary(m.Obs.LogFlush),
+		"lock_wait":   histSummary(m.Obs.LockWait),
+		"group_force": histSummary(m.Obs.GroupForce),
+		"group_ack":   histSummary(m.Obs.GroupAck),
 	}
 	doc["trace"] = map[string]uint64{
 		"emitted":          m.Obs.TraceSeq,
@@ -310,6 +316,14 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 	p.printf("blinktree_wal_total{event=\"append\"} %d\n", m.LogAppends)
 	p.printf("blinktree_wal_total{event=\"force\"} %d\n", m.LogForces)
 
+	g := m.WALGroup
+	p.header("blinktree_wal_group_total", "Commit pipeline activity (group/periodic/async durability).", "counter")
+	p.printf("blinktree_wal_group_total{event=\"commit\"} %d\n", g.Commits)
+	p.printf("blinktree_wal_group_total{event=\"immediate_ack\"} %d\n", g.ImmediateAcks)
+	p.printf("blinktree_wal_group_total{event=\"force\"} %d\n", g.Forces)
+	p.header("blinktree_wal_group_batch_max", "Largest number of commits acknowledged by one coalesced force.", "gauge")
+	p.printf("blinktree_wal_group_batch_max %d\n", g.MaxBatch)
+
 	p.header("blinktree_height", "Current root level.", "gauge")
 	p.printf("blinktree_height %d\n", m.Height)
 
@@ -360,6 +374,13 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 		p.hist("blinktree_io_latency_seconds", "io", "log_flush", m.Obs.LogFlush)
 		p.header("blinktree_lock_wait_seconds", "Blocking record-lock wait latency.", "histogram")
 		p.hist("blinktree_lock_wait_seconds", "", "", m.Obs.LockWait)
+		p.header("blinktree_wal_group_force_seconds", "Coalesced commit-force wall time on the log-writer.", "histogram")
+		p.hist("blinktree_wal_group_force_seconds", "", "", m.Obs.GroupForce)
+		p.header("blinktree_wal_group_ack_seconds", "Parked-commit delay from enqueue to acknowledgement.", "histogram")
+		p.hist("blinktree_wal_group_ack_seconds", "", "", m.Obs.GroupAck)
+		p.header("blinktree_wal_group_batch_commits", "Commits per counted coalesced force (sum over count).", "counter")
+		p.printf("blinktree_wal_group_batch_commits{stat=\"sum\"} %d\n", m.Obs.GroupBatchSum)
+		p.printf("blinktree_wal_group_batch_commits{stat=\"count\"} %d\n", m.Obs.GroupBatchCount)
 
 		p.header("blinktree_trace_events_total", "Trace events emitted and dropped by the bounded ring.", "counter")
 		p.printf("blinktree_trace_events_total{state=\"emitted\"} %d\n", m.Obs.TraceSeq)

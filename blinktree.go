@@ -27,6 +27,7 @@ package blinktree
 import (
 	"errors"
 	"path/filepath"
+	"time"
 
 	"blinktree/internal/core"
 	"blinktree/internal/latch"
@@ -70,6 +71,34 @@ const (
 	// coupling and delete-state bookkeeping).
 	BaselineNoDelete
 )
+
+// DurabilityMode selects when Txn.Commit acknowledges relative to the log
+// force that makes the commit durable; see Options.Durability.
+type DurabilityMode = wal.DurabilityMode
+
+const (
+	// DurabilitySync (the default) forces the log on the committing
+	// goroutine before Commit returns: nothing acknowledged is ever lost.
+	DurabilitySync = wal.DurSync
+	// DurabilityGroup parks committers on a dedicated log-writer goroutine
+	// that coalesces concurrent commits into one device force and
+	// acknowledges each committer only after its LSN is durable. Same
+	// loss guarantee as DurabilitySync, fewer forces under concurrency.
+	DurabilityGroup = wal.DurGroup
+	// DurabilityPeriodic acknowledges Commit immediately; a background
+	// log-writer forces every FlushInterval or after FlushBytes of
+	// unforced log. A crash loses at most the unforced window.
+	DurabilityPeriodic = wal.DurPeriodic
+	// DurabilityAsync acknowledges Commit immediately and nudges the
+	// log-writer to force opportunistically. A crash loses at most the
+	// commits not yet forced; FlushLog is the explicit durability barrier.
+	DurabilityAsync = wal.DurAsync
+)
+
+// ParseDurabilityMode parses a durability mode's flag name: "sync",
+// "group", "periodic" or "async" (the empty string means sync). Command
+// binaries use it for their -durability flags.
+func ParseDurabilityMode(s string) (DurabilityMode, error) { return wal.ParseDurabilityMode(s) }
 
 // ReadPath selects how point reads and cursor positioning descend the
 // tree; see Options.OptimisticReads.
@@ -123,6 +152,21 @@ type Options struct {
 	// Baseline optionally selects a comparator algorithm.
 	Baseline Baseline
 
+	// Durability selects when Txn.Commit acknowledges relative to the log
+	// force that makes the commit durable (default DurabilitySync). Only
+	// meaningful with a Path: volatile trees ignore it. See the
+	// DurabilityMode constants for each mode's contract.
+	Durability DurabilityMode
+	// FlushInterval is DurabilityPeriodic's background force period
+	// (0 means the default, 2ms). Negative disables autonomous forcing in
+	// the periodic and async modes; commits are then durable only at
+	// explicit FlushLog/Checkpoint/Close points.
+	FlushInterval time.Duration
+	// FlushBytes is DurabilityPeriodic's unforced-byte threshold (0 means
+	// the default, 256 KiB): once more than this many appended log bytes
+	// await a force, the log-writer forces early.
+	FlushBytes int64
+
 	// OptimisticReads selects the read-path traversal. The default is
 	// optimistic: Get, transactional reads and cursor positioning descend
 	// without latching index nodes, validating each node's version word
@@ -171,6 +215,10 @@ func Open(opts Options) (*Tree, error) {
 		Compare:     opts.Comparator,
 		TodoShards:  opts.MaintenanceShards,
 		TodoSoftCap: opts.MaintenanceSoftCap,
+
+		Durability:    opts.Durability,
+		FlushInterval: opts.FlushInterval,
+		FlushBytes:    opts.FlushBytes,
 
 		OptimisticReads: opts.OptimisticReads,
 	}
@@ -338,8 +386,11 @@ func (t *Tree) Checkpoint() error { return t.inner.Checkpoint() }
 // FlushLog forces every write-ahead log record appended so far to stable
 // storage without taking a checkpoint. Cheaper than Checkpoint (no page
 // flush); a successful return guarantees every completed operation survives
-// any later crash, at the cost of a longer redo at the next open. No-op for
-// volatile trees.
+// any later crash, at the cost of a longer redo at the next open. Under
+// DurabilityPeriodic and DurabilityAsync this is the explicit durability
+// barrier: it makes every previously acknowledged commit durable,
+// regardless of the background log-writer's progress. No-op for volatile
+// trees.
 func (t *Tree) FlushLog() error { return t.inner.FlushLog() }
 
 // Verify checks the tree's structural invariants. The tree must be
@@ -446,9 +497,16 @@ func (x *Txn) RollbackTo(savepoint int) error { return x.inner.RollbackTo(savepo
 
 // Commit makes the transaction durable and releases its locks.
 //
-// Durability: Commit forces the log. On successful return the
-// transaction's writes — and every operation completed before it — survive
-// any later crash; recovery rolls back transactions that never committed.
+// Durability: the acknowledgement point depends on Options.Durability.
+// Under DurabilitySync (the default) and DurabilityGroup a successful
+// return means the transaction's writes — and every operation completed
+// before it — survive any later crash; sync forces the log on this
+// goroutine, group parks the commit on the log-writer and returns after
+// the coalesced force covering its LSN. Under DurabilityPeriodic and
+// DurabilityAsync Commit returns as soon as the commit record is appended;
+// a crash before the next force loses the commit, and FlushLog is the
+// explicit barrier that closes the window. In every mode recovery rolls
+// back transactions that never committed.
 func (x *Txn) Commit() error { return x.inner.Commit() }
 
 // Abort rolls the transaction back and releases its locks.

@@ -12,6 +12,11 @@
 //	blinkbench -lat                     # mixed-workload latency profile
 //	blinkbench -lat -json               # ... plus the expvar JSON snapshot
 //	blinkbench -lat -trace              # ... plus the SMO trace events
+//	blinkbench -commit                  # commit-path durability sweep
+//	blinkbench -commit -out BENCH_commit.json -gate 1.0
+//	                                    # ... persist the trajectory and fail
+//	                                    #     unless group >= sync at the
+//	                                    #     highest writer count
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -28,6 +34,7 @@ import (
 	"blinktree/internal/bench"
 	"blinktree/internal/core"
 	"blinktree/internal/obs"
+	"blinktree/internal/wal"
 )
 
 func main() {
@@ -40,8 +47,23 @@ func main() {
 		lat      = flag.Bool("lat", false, "run a mixed-workload latency profile (p50/p99/p999 per operation class) instead of experiments")
 		jsonOut  = flag.Bool("json", false, "with -lat: print the expvar JSON metrics snapshot after the profile")
 		traceOut = flag.Bool("trace", false, "with -lat: print the buffered SMO trace events after the profile")
+
+		commit     = flag.Bool("commit", false, "run the commit-path durability sweep instead of experiments")
+		durability = flag.String("durability", "sync,group", "with -commit: comma-separated durability modes to measure")
+		writers    = flag.String("writers", "1,4,16", "with -commit: comma-separated concurrent committer counts")
+		commitOps  = flag.Int("commitops", 200, "with -commit: transactions per writer")
+		out        = flag.String("out", "", "with -commit: also write the JSON report to this file")
+		gate       = flag.Float64("gate", 0, "with -commit: exit nonzero unless group throughput >= gate * sync throughput at the highest writer count (0 disables)")
 	)
 	flag.Parse()
+
+	if *commit {
+		if err := commitSweep(os.Stdout, *durability, *writers, *commitOps, *out, *gate); err != nil {
+			fmt.Fprintf(os.Stderr, "commit sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("figures  Figures 1-4 walkthrough (half splits, access parent)")
@@ -108,6 +130,69 @@ func main() {
 		}
 		tb.Render(os.Stdout)
 	}
+}
+
+// commitSweep runs the commit-path durability benchmark, prints the cells
+// as a table, optionally persists the JSON trajectory (BENCH_commit.json)
+// and applies the group-vs-sync throughput gate.
+func commitSweep(w io.Writer, modesCSV, writersCSV string, ops int, outPath string, gate float64) error {
+	var cfg bench.CommitConfig
+	cfg.OpsPerWriter = ops
+	for _, s := range strings.Split(modesCSV, ",") {
+		m, err := wal.ParseDurabilityMode(s)
+		if err != nil {
+			return err
+		}
+		cfg.Modes = append(cfg.Modes, m)
+	}
+	for _, s := range strings.Split(writersCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -writers entry %q", s)
+		}
+		cfg.Writers = append(cfg.Writers, n)
+	}
+
+	rep, err := bench.RunCommit(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== commit path: %d txns/writer, simulated force %s ==\n",
+		rep.OpsPerWriter, time.Duration(rep.SyncDelayNS))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\twriters\tcommits/s\tdevice forces\tcommits/force\tmax batch")
+	for _, r := range rep.Results {
+		perForce := float64(r.Commits)
+		if r.DeviceForces > 0 {
+			perForce = float64(r.Commits) / float64(r.DeviceForces)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%d\t%.1f\t%d\n",
+			r.Mode, r.Writers, r.CommitsPerSec, r.DeviceForces, perForce, r.Group.MaxBatch)
+	}
+	tw.Flush()
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	if gate > 0 {
+		desc, err := rep.GateGroupVsSync(gate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "gate ok: %s\n", desc)
+	}
+	return nil
 }
 
 // latencyProfile runs a 40/40/20 insert/search/delete mix with full

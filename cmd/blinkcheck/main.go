@@ -26,16 +26,22 @@ import (
 
 func main() {
 	var (
-		path     = flag.String("path", "", "tree directory (pages.db + wal.log)")
-		pageSize = flag.Int("pagesize", 4096, "page size the tree was created with")
-		deep     = flag.Bool("deep", false, "run the deep audit: page scan, D_D placement, WAL tail")
+		path       = flag.String("path", "", "tree directory (pages.db + wal.log)")
+		pageSize   = flag.Int("pagesize", 4096, "page size the tree was created with")
+		deep       = flag.Bool("deep", false, "run the deep audit: page scan, D_D placement, WAL tail")
+		durability = flag.String("durability", "sync", "durability mode to open with: sync, group, periodic or async (recovery is identical in every mode)")
 	)
 	flag.Parse()
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "blinkcheck: -path is required")
 		os.Exit(2)
 	}
-	tr, err := blinktree.Open(blinktree.Options{Path: *path, PageSize: *pageSize, Workers: -1})
+	mode, err := blinktree.ParseDurabilityMode(*durability)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blinkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	tr, err := blinktree.Open(blinktree.Options{Path: *path, PageSize: *pageSize, Workers: -1, Durability: mode})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blinkcheck: open/recover: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"blinktree/internal/wal"
+)
+
+// TestCommitBenchSmoke runs a tiny commit-path sweep across all four modes
+// and checks the report's shape: every cell present, commits counted,
+// ack-after-force modes force at least once per batch, deferred modes
+// acknowledge immediately.
+func TestCommitBenchSmoke(t *testing.T) {
+	cfg := CommitConfig{
+		Modes:        []wal.DurabilityMode{wal.DurSync, wal.DurGroup, wal.DurPeriodic, wal.DurAsync},
+		Writers:      []int{1, 4},
+		OpsPerWriter: 25,
+		SyncDelay:    20 * time.Microsecond,
+	}
+	rep, err := RunCommit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(cfg.Modes)*len(cfg.Writers) {
+		t.Fatalf("results = %d cells, want %d", len(rep.Results), len(cfg.Modes)*len(cfg.Writers))
+	}
+	for _, mode := range cfg.Modes {
+		for _, w := range cfg.Writers {
+			res, ok := rep.Lookup(mode.String(), w)
+			if !ok {
+				t.Fatalf("missing cell %s/%d", mode, w)
+			}
+			if res.Commits != w*cfg.OpsPerWriter {
+				t.Errorf("%s/%d: commits = %d, want %d", mode, w, res.Commits, w*cfg.OpsPerWriter)
+			}
+			if res.CommitsPerSec <= 0 {
+				t.Errorf("%s/%d: non-positive throughput", mode, w)
+			}
+			if mode.AckAfterForce() && res.DeviceForces == 0 {
+				t.Errorf("%s/%d: ack-after-force mode never forced the device", mode, w)
+			}
+			if !mode.AckAfterForce() && res.Group.ImmediateAcks != uint64(res.Commits) {
+				t.Errorf("%s/%d: immediate acks = %d, want %d", mode, w, res.Group.ImmediateAcks, res.Commits)
+			}
+		}
+	}
+	if got, ok := rep.Lookup("group", 4); !ok || got.Group.Commits != uint64(4*cfg.OpsPerWriter) {
+		t.Errorf("group/4: pipeline commits = %+v, ok=%v", got.Group, ok)
+	}
+}
+
+// TestCommitReportRoundTrip pins the BENCH_commit.json wire format: a
+// report survives WriteJSON/ReadCommitReport, and the gate reads the same
+// numbers back.
+func TestCommitReportRoundTrip(t *testing.T) {
+	rep := &CommitReport{
+		OpsPerWriter: 10,
+		SyncDelayNS:  1000,
+		Results: []CommitResult{
+			{Mode: "sync", Writers: 16, Commits: 160, ElapsedNS: 2e6, CommitsPerSec: 100},
+			{Mode: "group", Writers: 16, Commits: 160, ElapsedNS: 1e6, CommitsPerSec: 250},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCommitReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxWriters() != 16 {
+		t.Fatalf("MaxWriters = %d", back.MaxWriters())
+	}
+	desc, err := back.GateGroupVsSync(1.0)
+	if err != nil {
+		t.Fatalf("gate should pass (2.5x): %v", err)
+	}
+	if desc == "" {
+		t.Fatal("gate returned no description")
+	}
+	back.Results[1].CommitsPerSec = 50
+	if _, err := back.GateGroupVsSync(1.0); err == nil {
+		t.Fatal("gate should fail when group < sync")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"blinktree/internal/lock"
 	"blinktree/internal/obs"
 	"blinktree/internal/storage"
+	"blinktree/internal/wal"
 )
 
 // TreeMetrics is one consistent observability snapshot of a tree: every
@@ -27,6 +28,11 @@ type TreeMetrics struct {
 	// LogAppends/LogForces are zero when logging is disabled.
 	LogAppends uint64
 	LogForces  uint64
+
+	// WALGroup counts the commit pipeline's activity (group-commit batches,
+	// immediate acks, writer forces); zero when logging is disabled or the
+	// tree runs in the default sync mode.
+	WALGroup wal.GroupStats
 
 	// Recovery reports what crash recovery found and did at open time
 	// (Recovered false when the tree started fresh or without a log).
@@ -51,6 +57,9 @@ func (t *Tree) Snapshot() TreeMetrics {
 		Obs:      t.obs.Snapshot(),
 	}
 	m.LogAppends, m.LogForces = t.LogStats()
+	if t.log != nil {
+		m.WALGroup = t.log.GroupStats()
+	}
 	return m
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"blinktree/internal/obs"
 	"blinktree/internal/storage"
 	"blinktree/internal/wal"
@@ -95,6 +97,29 @@ type Options struct {
 	// LogDevice enables write-ahead logging and crash recovery when
 	// non-nil. Nil disables logging: the tree is volatile.
 	LogDevice wal.Device
+
+	// Durability selects when Txn.Commit is acknowledged relative to the
+	// log force that makes it durable. DurSync (the default) and DurGroup
+	// acknowledge only after the commit LSN is durable — DurSync forces on
+	// the committing goroutine, DurGroup coalesces concurrent commits into
+	// one force on a dedicated log-writer goroutine. DurPeriodic and
+	// DurAsync acknowledge immediately and force in the background; a
+	// crash loses at most the commits inside the unforced window, and a
+	// successful FlushLog/Checkpoint/Close re-establishes full durability.
+	// Recovery is identical in every mode. No effect without a LogDevice.
+	Durability wal.DurabilityMode
+
+	// FlushInterval is DurPeriodic's background force period (0 means the
+	// default, 2ms). Negative disables all autonomous forcing in the
+	// periodic and async modes — commits are then durable only at explicit
+	// FlushLog/Checkpoint/Close points; the crash harness uses this to
+	// keep its persistence-operation stream deterministic.
+	FlushInterval time.Duration
+
+	// FlushBytes is DurPeriodic's unforced-byte threshold (0 means the
+	// default, 256 KiB): once more than this many appended log bytes await
+	// a force, the log-writer forces without waiting for FlushInterval.
+	FlushBytes int64
 
 	// DeletePolicy selects the node-deletion comparator. Default
 	// DeleteState (the paper's method).

@@ -192,6 +192,11 @@ func New(opts Options) (*Tree, error) {
 		if t.obs != nil {
 			t.log.SetObserver(t.obs)
 		}
+		t.log.StartPipeline(wal.PipelineConfig{
+			Mode:     opts.Durability,
+			Interval: opts.FlushInterval,
+			Bytes:    opts.FlushBytes,
+		})
 	}
 	t.pool = buffer.NewPool(t.store, t.log, codec{t}, opts.CacheSize)
 	if t.obs != nil {
@@ -461,7 +466,9 @@ func (t *Tree) Checkpoint() error {
 	return t.log.FlushAll()
 }
 
-// Close drains the to-do queue, flushes state and shuts the tree down.
+// Close drains the to-do queue, flushes state and shuts the tree down. The
+// commit pipeline is drained first: parked group commits are covered by a
+// final force and acknowledged before the writer goroutine exits.
 func (t *Tree) Close() error {
 	if t.closed.Swap(true) {
 		return nil
@@ -469,6 +476,9 @@ func (t *Tree) Close() error {
 	latch.UnregisterRecorder(&t.latchRec)
 	t.todo.stop()
 	if t.log != nil {
+		if err := t.log.Stop(true); err != nil {
+			return err
+		}
 		if err := t.pool.FlushAll(); err != nil {
 			return err
 		}
@@ -480,8 +490,12 @@ func (t *Tree) Close() error {
 }
 
 // FlushLog forces all appended log records durable without checkpointing.
-// Crash-simulation harnesses use it to define the durable horizon before
-// simulating a failure.
+// In every durability mode a successful return guarantees every operation
+// completed before the call survives any later crash — under the periodic
+// and async modes this is THE explicit durability barrier (commit
+// acknowledgements there do not wait for a force). Crash-simulation
+// harnesses use it to define the durable horizon before simulating a
+// failure.
 func (t *Tree) FlushLog() error {
 	if t.log == nil {
 		return nil
@@ -490,12 +504,17 @@ func (t *Tree) FlushLog() error {
 }
 
 // Abandon stops background workers without flushing any state, simulating
-// process death. The tree is unusable afterwards; reopen over the same log
-// device to exercise recovery.
+// process death. The commit pipeline's writer is stopped without a final
+// force (parked commits would get ErrPipelineStopped — a real power cut
+// never acks them either). The tree is unusable afterwards; reopen over
+// the same log device to exercise recovery.
 func (t *Tree) Abandon() {
 	t.closed.Store(true)
 	latch.UnregisterRecorder(&t.latchRec)
 	t.todo.stop()
+	if t.log != nil {
+		_ = t.log.Stop(false)
+	}
 }
 
 // opBegin gates an operation against checkpoints and rejects closed trees.

@@ -96,7 +96,14 @@ func (x *Txn) finish() {
 	x.t.locks.ReleaseAll(x.owner())
 }
 
-// Commit makes the transaction's effects durable and releases its locks.
+// Commit ends the transaction and releases its locks. The durability of
+// the acknowledgement follows Options.Durability: under the sync mode the
+// calling goroutine forces the log through the commit LSN; under the group
+// mode the commit parks until the log-writer's next coalesced force covers
+// it (both guarantee a nil return means the commit survives any crash);
+// under the periodic and async modes the commit is acknowledged as soon as
+// its record is appended and becomes durable at the next background force
+// or explicit FlushLog/Checkpoint/Close.
 func (x *Txn) Commit() error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -109,7 +116,7 @@ func (x *Txn) Commit() error {
 		if err != nil {
 			return err
 		}
-		if err := t.log.Flush(lsn); err != nil {
+		if err := t.log.Commit(lsn); err != nil {
 			return err
 		}
 	}

@@ -52,6 +52,16 @@ type Registry struct {
 	logFlush  Histogram // WAL device syncs
 	lockWait  Histogram // blocking record-lock waits
 
+	groupForce Histogram // commit-pipeline coalesced forces (batch wall time)
+	groupAck   Histogram // parked-commit enqueue-to-ack delay
+
+	// groupBatch* account the commit-pipeline batch sizes (commits per
+	// force): total commits, forces that carried commits, and the largest
+	// single batch.
+	groupBatchSum   atomic.Uint64
+	groupBatchCount atomic.Uint64
+	groupBatchMax   atomic.Uint64
+
 	longWaits atomic.Uint64 // latch waits >= cfg.LatchWaitThreshold
 
 	ring struct {
@@ -159,6 +169,37 @@ func (r *Registry) LogFlush(d time.Duration) {
 	r.logFlush.Observe(d)
 }
 
+// LogGroupForce implements the WAL's GroupObserver: one coalesced commit
+// force of the log-writer, with the number of parked commits it covered
+// (its group size) and the batch's wall time.
+func (r *Registry) LogGroupForce(batch int, d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.groupForce.Observe(d)
+	if batch <= 0 {
+		return
+	}
+	n := uint64(batch)
+	r.groupBatchSum.Add(n)
+	r.groupBatchCount.Add(1)
+	for {
+		max := r.groupBatchMax.Load()
+		if n <= max || r.groupBatchMax.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+// LogGroupAck implements the WAL's GroupObserver: one parked commit's
+// delay from enqueue on the log-writer to acknowledgement.
+func (r *Registry) LogGroupAck(d time.Duration) {
+	if r == nil || !r.cfg.Metrics {
+		return
+	}
+	r.groupAck.Observe(d)
+}
+
 // Emit appends a trace event, stamping Seq and TS. The ring is bounded:
 // once full the oldest event is overwritten and counted as dropped. Events
 // are rare (SMO transitions and distress episodes, not per-operation), so a
@@ -216,6 +257,15 @@ type Snapshot struct {
 	LogFlush  HistogramSnapshot
 	LockWait  HistogramSnapshot
 
+	// GroupForce/GroupAck are the commit pipeline's coalesced-force wall
+	// time and parked-commit ack delay; GroupBatch* account group sizes
+	// (total commits over counted forces, and the largest batch).
+	GroupForce      HistogramSnapshot
+	GroupAck        HistogramSnapshot
+	GroupBatchSum   uint64
+	GroupBatchCount uint64
+	GroupBatchMax   uint64
+
 	// LatchLongWaits counts blocking latch acquisitions at or above the
 	// configured threshold.
 	LatchLongWaits uint64
@@ -243,6 +293,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	s.LogAppend = r.logAppend.Snapshot()
 	s.LogFlush = r.logFlush.Snapshot()
 	s.LockWait = r.lockWait.Snapshot()
+	s.GroupForce = r.groupForce.Snapshot()
+	s.GroupAck = r.groupAck.Snapshot()
+	s.GroupBatchSum = r.groupBatchSum.Load()
+	s.GroupBatchCount = r.groupBatchCount.Load()
+	s.GroupBatchMax = r.groupBatchMax.Load()
 	rg := &r.ring
 	rg.mu.Lock()
 	s.TraceSeq = rg.seq

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"blinktree/internal/wal"
+)
+
+// allModes is every durability mode the commit pipeline supports, in
+// strictness order.
+var allModes = []wal.DurabilityMode{wal.DurSync, wal.DurGroup, wal.DurPeriodic, wal.DurAsync}
+
+// TestDurabilityModesSmoke is the tier-1 bounded check that the crash-point
+// enumerator verifies each mode's stated contract: sync and group lose
+// nothing acknowledged; periodic and async lose at most the commits
+// appended since the last explicit force, and only as a suffix. A strided
+// sweep keeps the four modes inside the tier-1 time budget.
+func TestDurabilityModesSmoke(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rep, err := Run(Config{Seed: 7, Stride: 4, Durability: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("contract: %s", rep.Contract)
+			t.Logf("%s: %s", mode, rep)
+			if rep.CrashPoints < 40 {
+				t.Fatalf("sweep too small: %d crash points", rep.CrashPoints)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestDurabilityAckHorizon pins the mode-awareness of the shadow model
+// itself: under an ack-after-force mode a successful transaction commit
+// advances the acknowledged horizon, under the deferred modes it must not —
+// otherwise the matrix would demand durability the mode never promised (or
+// silently verify a weaker contract than sync/group claim).
+func TestDurabilityAckHorizon(t *testing.T) {
+	for _, mode := range allModes {
+		want := mode == wal.DurSync || mode == wal.DurGroup
+		if got := mode.AckAfterForce(); got != want {
+			t.Errorf("%s: AckAfterForce = %v, want %v", mode, got, want)
+		}
+	}
+}
+
+// TestDurabilityContractMatrix is the CI durability-matrix job: every mode
+// crossed with the clean and torn fault models, exhaustive crash-point
+// stride. Gated behind BLINKTREE_DURABILITY_MATRIX because it replays the
+// workload a few thousand times.
+func TestDurabilityContractMatrix(t *testing.T) {
+	if os.Getenv("BLINKTREE_DURABILITY_MATRIX") == "" {
+		t.Skip("set BLINKTREE_DURABILITY_MATRIX=1 to run the full durability-contract matrix")
+	}
+	for _, mode := range allModes {
+		for _, torn := range []bool{false, true} {
+			name := fmt.Sprintf("mode=%s/torn=%v", mode, torn)
+			t.Run(name, func(t *testing.T) {
+				rep, err := Run(Config{
+					Seed:           11,
+					Steps:          200,
+					Durability:     mode,
+					TornPageWrites: torn,
+					TornWALTail:    torn,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("contract: %s", rep.Contract)
+				t.Logf("%s: %s", name, rep)
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+			})
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"blinktree/internal/core"
 	"blinktree/internal/storage"
+	"blinktree/internal/wal"
 )
 
 // Config parameterizes one crash-point enumeration sweep. The zero value is
@@ -57,6 +58,16 @@ type Config struct {
 	// page tearing and torn-final-frame modes.
 	TornPageWrites bool
 	TornWALTail    bool
+
+	// Durability selects the commit acknowledgement mode under test; see
+	// DurabilityContract for the per-mode loss contract the sweep
+	// verifies. The tree always runs with autonomous forcing disabled
+	// (core.Options.FlushInterval = -1) so the persistence-operation
+	// stream stays deterministic across replays: under wal.DurPeriodic
+	// and wal.DurAsync the only forces are the workload's explicit
+	// FlushLog/Checkpoint/Close steps, which is exactly the worst-case
+	// loss window those modes permit.
+	Durability wal.DurabilityMode
 
 	// MaxViolations caps how many failing crash points are described in
 	// the report before the sweep stops early (0 = default 10).
@@ -92,6 +103,10 @@ func (c Config) withDefaults() Config {
 // fault modes actually fired, what recovery had to do, and every invariant
 // violation found (an empty Violations is the pass condition).
 type Report struct {
+	// Contract restates the durability contract this sweep verified (see
+	// DurabilityContract), so matrix logs are self-describing.
+	Contract string
+
 	// Ops is the persistence-operation count of the crash-free run; crash
 	// points are enumerated over [1, Ops].
 	Ops int64
@@ -120,6 +135,17 @@ type Report struct {
 
 // Passed reports whether the sweep found no violations.
 func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// DurabilityContract states the loss contract the sweep verifies for mode:
+// what a successful Txn.Commit acknowledgement is allowed to mean at a
+// crash. Every mode additionally guarantees structural integrity and
+// shadow-prefix consistency after recovery.
+func DurabilityContract(m wal.DurabilityMode) string {
+	if m.AckAfterForce() {
+		return m.String() + ": no acknowledged commit is ever lost (ack follows the log force covering its LSN)"
+	}
+	return m.String() + ": a crash loses at most the commits appended since the last explicit force (FlushLog/Checkpoint/Close); acknowledged-but-unforced commits may vanish, but only as a suffix"
+}
 
 // String renders a one-paragraph summary (used by the E13 experiment table
 // notes and test logs).
@@ -341,9 +367,14 @@ func (d *driver) txn(abort bool) error {
 	d.sh.groups = append(d.sh.groups, g)
 	switch {
 	case err == nil:
-		// Commit forces the log: this group and everything before it is
-		// acknowledged durable.
-		d.sh.acked = len(d.sh.groups)
+		// The acknowledged-durable horizon only advances when the mode's
+		// contract says a successful Commit implies a covering log force
+		// (sync, group). Under periodic/async the commit is acknowledged
+		// but unforced: it stays in the maybe-visible tail until the next
+		// explicit FlushLog/Checkpoint/Close.
+		if d.cfg.Durability.AckAfterForce() {
+			d.sh.acked = len(d.sh.groups)
+		}
 		return nil
 	case d.crashed(err):
 		// The commit record may have been appended before the cut; the
@@ -357,15 +388,22 @@ func (d *driver) txn(abort bool) error {
 // newTree mounts a worker-less tree on the sim disk. WorkersNone keeps the
 // run single-threaded and deterministic: maintenance happens only inside
 // DrainTodo steps, so the persistence-operation stream is identical across
-// replays.
+// replays. FlushInterval -1 disables the commit pipeline's autonomous
+// forcing for the same reason — a timer-driven background Sync would land
+// at a nondeterministic position in the disk's op count. Group mode keeps
+// its log-writer (commit parking needs it), but the single-threaded driver
+// blocks in Commit until the coalesced force completes, so the writer's
+// Syncs interleave at fixed stream positions.
 func newTree(cfg Config, disk *storage.SimDisk) (*core.Tree, error) {
 	return core.New(core.Options{
-		PageSize:  cfg.PageSize,
-		CacheSize: cfg.CacheSize,
-		MinFill:   cfg.MinFill,
-		Workers:   core.WorkersNone,
-		Store:     disk.Store(),
-		LogDevice: disk.WAL(),
+		PageSize:      cfg.PageSize,
+		CacheSize:     cfg.CacheSize,
+		MinFill:       cfg.MinFill,
+		Workers:       core.WorkersNone,
+		Store:         disk.Store(),
+		LogDevice:     disk.WAL(),
+		Durability:    cfg.Durability,
+		FlushInterval: -1,
 	})
 }
 
@@ -468,7 +506,7 @@ func matchPrefix(sh *shadow, rec map[string][]byte) error {
 // Report.Violations.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	rep := &Report{}
+	rep := &Report{Contract: DurabilityContract(cfg.Durability)}
 
 	// Counting run: never crashes (CrashAt 0 disarms the trigger).
 	disk := storage.NewSimDisk(cfg.PageSize, storage.SimConfig{

@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DurabilityMode selects when a commit is acknowledged relative to the
+// device force that makes it durable. The recovery protocol (paper §2.1)
+// only assumes the log is forced *at* commit — it does not require each
+// commit to pay its own force — so the pipeline can trade the per-commit
+// fsync for batched or deferred forces without touching recovery.
+type DurabilityMode uint8
+
+// Durability modes, from strictest to loosest.
+const (
+	// DurSync forces the device before every commit acknowledgement, on
+	// the committing goroutine. An acknowledged commit is durable. This is
+	// the classic one-force-per-commit behavior and the default.
+	DurSync DurabilityMode = iota
+	// DurGroup parks committers on the log-writer goroutine, which
+	// coalesces all waiting commits into a single device force and
+	// acknowledges them after it completes. An acknowledged commit is
+	// durable — same contract as DurSync — but concurrent committers share
+	// one force instead of serializing behind one each.
+	DurGroup
+	// DurPeriodic acknowledges commits immediately; the log-writer forces
+	// the device every PipelineConfig.Interval, or sooner when unforced
+	// bytes exceed PipelineConfig.Bytes. A crash loses at most the commits
+	// acknowledged inside the current unforced window.
+	DurPeriodic
+	// DurAsync acknowledges commits immediately and nudges the log-writer,
+	// which forces as fast as the device allows, coalescing whatever
+	// accumulated. Same loss window as DurPeriodic (the unforced tail),
+	// typically shorter in practice because every commit triggers a force.
+	DurAsync
+)
+
+// String returns the mode's flag/metric name.
+func (m DurabilityMode) String() string {
+	switch m {
+	case DurSync:
+		return "sync"
+	case DurGroup:
+		return "group"
+	case DurPeriodic:
+		return "periodic"
+	case DurAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("durability?%d", uint8(m))
+	}
+}
+
+// ParseDurabilityMode parses a mode name as used in command-line flags:
+// "sync", "group", "periodic" or "async".
+func ParseDurabilityMode(s string) (DurabilityMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sync", "":
+		return DurSync, nil
+	case "group":
+		return DurGroup, nil
+	case "periodic":
+		return DurPeriodic, nil
+	case "async":
+		return DurAsync, nil
+	default:
+		return DurSync, fmt.Errorf("wal: unknown durability mode %q (want sync, group, periodic or async)", s)
+	}
+}
+
+// AckAfterForce reports whether the mode acknowledges commits only after
+// their LSN is durable (DurSync, DurGroup). Modes where it is false may
+// lose acknowledged-but-unforced commits at a crash; the crash harness
+// uses this to decide which commits count as promises.
+func (m DurabilityMode) AckAfterForce() bool {
+	return m == DurSync || m == DurGroup
+}
+
+// PipelineConfig parameterizes the log-writer pipeline started by
+// StartPipeline.
+type PipelineConfig struct {
+	// Mode selects the durability mode. DurSync needs no pipeline
+	// goroutine; the other modes start one.
+	Mode DurabilityMode
+
+	// Interval is DurPeriodic's background force period (default 2ms).
+	// A negative Interval disables ALL autonomous forcing — no ticker, no
+	// byte-threshold trigger, no per-commit nudge in DurAsync — leaving
+	// Flush/FlushAll/Commit-parked forces only. The crash harness uses
+	// this to keep the persistence-operation stream deterministic.
+	Interval time.Duration
+
+	// Bytes is DurPeriodic's unforced-byte threshold (default 256 KiB):
+	// when more than this many appended bytes await a force, the writer is
+	// nudged without waiting for the ticker.
+	Bytes int64
+}
+
+// withDefaults fills unset fields.
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Mode == DurPeriodic {
+		if c.Interval == 0 {
+			c.Interval = 2 * time.Millisecond
+		}
+		if c.Bytes == 0 {
+			c.Bytes = 256 << 10
+		}
+	}
+	return c
+}
+
+// GroupStats counts the pipeline's activity. All fields are monotone.
+type GroupStats struct {
+	// Commits is the number of commits acknowledged by the log-writer
+	// after a coalesced force (DurGroup parked commits).
+	Commits uint64
+	// ImmediateAcks is the number of commits acknowledged before their
+	// force (DurPeriodic / DurAsync).
+	ImmediateAcks uint64
+	// Forces is the number of device forces the log-writer issued.
+	Forces uint64
+	// MaxBatch is the largest number of parked commits one force covered.
+	MaxBatch uint64
+}
+
+// GroupObserver is the optional Observer extension receiving group-commit
+// telemetry: per-force batch size and duration, and per-commit ack delay
+// (enqueue to acknowledgement). *obs.Registry implements it.
+type GroupObserver interface {
+	// LogGroupForce reports one log-writer force: how many parked commits
+	// it covered and how long the batch took end to end.
+	LogGroupForce(batch int, d time.Duration)
+	// LogGroupAck reports one parked commit's enqueue-to-ack delay.
+	LogGroupAck(d time.Duration)
+}
+
+// ErrPipelineStopped is returned to commits parked on a pipeline that was
+// stopped without a final force (process-death simulation via Stop(false)).
+var ErrPipelineStopped = errors.New("wal: commit pipeline stopped")
+
+// waiter is one commit parked on the log-writer.
+type waiter struct {
+	lsn LSN
+	ch  chan error
+	t0  time.Time
+}
+
+// pipeline is the Log's group-commit state. Guarded by Log.mu except where
+// noted.
+type pipeline struct {
+	cfg     PipelineConfig
+	pending []waiter      // commits awaiting the next force
+	wake    chan struct{} // 1-buffered writer nudge
+	stopCh  chan struct{}
+	done    chan struct{} // closed when the writer goroutine exits
+	running bool          // writer goroutine live
+	stopped bool          // Stop called; Commit falls back to direct force
+	drain   bool          // Stop(force): final force before exit
+
+	// unforced counts appended bytes since the last force (byte trigger).
+	unforced int64
+
+	commits   atomic.Uint64
+	immediate atomic.Uint64
+	forces    atomic.Uint64
+	maxBatch  atomic.Uint64
+}
+
+// StartPipeline configures the log's durability mode and, for DurGroup and
+// (unless autonomous forcing is disabled) DurPeriodic/DurAsync, starts the
+// dedicated log-writer goroutine. Call once, before the log sees commits;
+// a log without a started pipeline behaves as DurSync. Stop shuts the
+// writer down.
+func (l *Log) StartPipeline(cfg PipelineConfig) {
+	cfg = cfg.withDefaults()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.p.cfg = cfg
+	manual := cfg.Interval < 0
+	needWriter := cfg.Mode == DurGroup ||
+		((cfg.Mode == DurPeriodic || cfg.Mode == DurAsync) && !manual)
+	if !needWriter || l.p.running {
+		return
+	}
+	l.p.wake = make(chan struct{}, 1)
+	l.p.stopCh = make(chan struct{})
+	l.p.done = make(chan struct{})
+	l.p.running = true
+	var tick <-chan time.Time
+	var ticker *time.Ticker
+	if cfg.Mode == DurPeriodic && cfg.Interval > 0 {
+		ticker = time.NewTicker(cfg.Interval)
+		tick = ticker.C
+	}
+	go l.writerLoop(tick, ticker)
+}
+
+// Mode returns the pipeline's durability mode (DurSync when StartPipeline
+// was never called).
+func (l *Log) Mode() DurabilityMode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.cfg.Mode
+}
+
+// GroupStats returns the pipeline's activity counters.
+func (l *Log) GroupStats() GroupStats {
+	return GroupStats{
+		Commits:       l.p.commits.Load(),
+		ImmediateAcks: l.p.immediate.Load(),
+		Forces:        l.p.forces.Load(),
+		MaxBatch:      l.p.maxBatch.Load(),
+	}
+}
+
+// Commit acknowledges the commit record at lsn according to the durability
+// mode: DurSync forces on the calling goroutine; DurGroup parks the caller
+// until the log-writer's next coalesced force covers lsn; DurPeriodic and
+// DurAsync return immediately (the record rides a later background force).
+// A nil return in an ack-after-force mode guarantees lsn is durable; in the
+// other modes it only guarantees the record was appended.
+func (l *Log) Commit(lsn LSN) error {
+	l.mu.Lock()
+	mode := l.p.cfg.Mode
+	switch {
+	case mode == DurGroup && l.p.running && !l.p.stopped:
+		w := waiter{lsn: lsn, ch: make(chan error, 1), t0: time.Now()}
+		l.p.pending = append(l.p.pending, w)
+		l.mu.Unlock()
+		l.nudge()
+		return <-w.ch
+	case mode == DurPeriodic:
+		l.p.immediate.Add(1)
+		over := l.p.cfg.Bytes > 0 && l.p.unforced >= l.p.cfg.Bytes
+		running := l.p.running && !l.p.stopped
+		l.mu.Unlock()
+		if over && running {
+			l.nudge()
+		}
+		return nil
+	case mode == DurAsync:
+		l.p.immediate.Add(1)
+		running := l.p.running && !l.p.stopped
+		l.mu.Unlock()
+		if running {
+			l.nudge()
+		}
+		return nil
+	default:
+		// DurSync, or a group pipeline that is not (or no longer) running:
+		// force on the calling goroutine, exactly the classic behavior.
+		l.mu.Unlock()
+		return l.Flush(lsn)
+	}
+}
+
+// nudge wakes the log-writer; a pending nudge is enough (the writer drains
+// everything accumulated per wake-up).
+func (l *Log) nudge() {
+	select {
+	case l.p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writerLoop is the dedicated log-writer goroutine: it coalesces parked
+// commits and unforced bytes into single device forces until stopped.
+func (l *Log) writerLoop(tick <-chan time.Time, ticker *time.Ticker) {
+	defer close(l.p.done)
+	if ticker != nil {
+		defer ticker.Stop()
+	}
+	for {
+		// Stop takes priority over a pending wake: once Stop has been
+		// called, the drain decision (final force vs ErrPipelineStopped)
+		// must govern every still-parked commit, not a leftover nudge.
+		select {
+		case <-l.p.stopCh:
+			l.flushBatch(true)
+			return
+		default:
+		}
+		select {
+		case <-l.p.stopCh:
+			l.flushBatch(true)
+			return
+		case <-l.p.wake:
+			l.flushBatch(false)
+		case <-tick:
+			l.flushBatch(false)
+		}
+	}
+}
+
+// flushBatch collects the parked commits and forces the device once for
+// all of them, acknowledging each afterwards. final marks the drain on
+// Stop: with drain disabled (process-death simulation) waiters get
+// ErrPipelineStopped instead of a force.
+func (l *Log) flushBatch(final bool) {
+	l.mu.Lock()
+	batch := l.p.pending
+	l.p.pending = nil
+	dirty := l.synced > l.flushed
+	drain := !final || l.p.drain
+	l.mu.Unlock()
+
+	if !drain {
+		for _, w := range batch {
+			w.ch <- ErrPipelineStopped
+		}
+		return
+	}
+	if len(batch) == 0 && !dirty {
+		return
+	}
+	t0 := time.Now()
+	err := l.force(0)
+	if err == nil {
+		l.p.forces.Add(1)
+		if n := uint64(len(batch)); n > 0 {
+			l.p.commits.Add(n)
+			for {
+				max := l.p.maxBatch.Load()
+				if n <= max || l.p.maxBatch.CompareAndSwap(max, n) {
+					break
+				}
+			}
+		}
+	}
+	// Every waiter in the batch appended its record before parking, so a
+	// successful force covers all of them: ack after, never before.
+	for _, w := range batch {
+		w.ch <- err
+	}
+	if gobs, ok := l.obs.(GroupObserver); ok && gobs != nil {
+		end := time.Now()
+		gobs.LogGroupForce(len(batch), end.Sub(t0))
+		for _, w := range batch {
+			gobs.LogGroupAck(end.Sub(w.t0))
+		}
+	}
+}
+
+// Stop shuts the log-writer down. With force true the writer drains: any
+// parked commits are covered by one final force and acknowledged (Close
+// path). With force false the writer exits without touching the device and
+// parked commits receive ErrPipelineStopped (Abandon / process-death
+// simulation). After Stop, Commit falls back to DurSync semantics for
+// group mode and to append-only acks for periodic/async. Idempotent.
+func (l *Log) Stop(force bool) error {
+	l.mu.Lock()
+	if l.p.stopped {
+		running := l.p.running
+		l.mu.Unlock()
+		if running {
+			<-l.p.done
+		}
+		return nil
+	}
+	l.p.stopped = true
+	l.p.drain = force
+	running := l.p.running
+	l.mu.Unlock()
+	if running {
+		close(l.p.stopCh)
+		<-l.p.done
+		l.mu.Lock()
+		l.p.running = false
+		l.mu.Unlock()
+	} else if force {
+		return l.force(0)
+	}
+	return nil
+}

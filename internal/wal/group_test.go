@@ -1,0 +1,442 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateDevice wraps a MemDevice with a controllable Sync: each Sync
+// announces itself on enter, then blocks until a token arrives on release.
+// Tests use it to hold the log-writer inside a force while more committers
+// park, making the coalescing assertions deterministic.
+type gateDevice struct {
+	*MemDevice
+	enter   chan struct{}
+	release chan struct{}
+	ungated atomic.Bool
+}
+
+func newGateDevice() *gateDevice {
+	return &gateDevice{
+		MemDevice: NewMemDevice(),
+		enter:     make(chan struct{}),
+		release:   make(chan struct{}),
+	}
+}
+
+func (d *gateDevice) Sync() error {
+	if !d.ungated.Load() {
+		d.enter <- struct{}{}
+		<-d.release
+	}
+	return d.MemDevice.Sync()
+}
+
+// waitParked polls until n commits are parked on the log-writer.
+func waitParked(t *testing.T, l *Log, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		parked := len(l.p.pending)
+		l.mu.Unlock()
+		if parked >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d parked commits (have %d)", n, parked)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestGroupCommitCoalesces holds the log-writer inside one force while N
+// more committers park, then verifies all N are acknowledged by a single
+// coalesced force — and that no committer is acknowledged before the
+// durable horizon covers its LSN (ack-after-force).
+func TestGroupCommitCoalesces(t *testing.T) {
+	dev := newGateDevice()
+	l, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurGroup})
+
+	commit := func(errs chan<- error) {
+		lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+		if err != nil {
+			errs <- err
+			return
+		}
+		if err := l.Commit(lsn); err != nil {
+			errs <- err
+			return
+		}
+		if got := l.FlushedLSN(); got < lsn {
+			errs <- fmt.Errorf("acked before force: flushed %d < lsn %d", got, lsn)
+			return
+		}
+		errs <- nil
+	}
+
+	// First committer: the writer picks it up and blocks inside Sync.
+	first := make(chan error, 1)
+	go commit(first)
+	<-dev.enter
+
+	// While the force is in flight, N more committers park.
+	const n = 16
+	rest := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go commit(rest)
+	}
+	waitParked(t, l, n)
+
+	// Release the first force, then the coalesced one covering all N.
+	dev.release <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	<-dev.enter
+	dev.release <- struct{}{}
+	for i := 0; i < n; i++ {
+		if err := <-rest; err != nil {
+			t.Fatalf("parked commit: %v", err)
+		}
+	}
+
+	if syncs := dev.Syncs(); syncs != 2 {
+		t.Fatalf("device syncs = %d, want 2 (1 + 1 coalesced for %d committers)", syncs, n)
+	}
+	gs := l.GroupStats()
+	if gs.Commits != n+1 {
+		t.Fatalf("GroupStats.Commits = %d, want %d", gs.Commits, n+1)
+	}
+	if gs.Forces != 2 {
+		t.Fatalf("GroupStats.Forces = %d, want 2", gs.Forces)
+	}
+	if gs.MaxBatch != n {
+		t.Fatalf("GroupStats.MaxBatch = %d, want %d", gs.MaxBatch, n)
+	}
+	dev.ungated.Store(true)
+	if err := l.Stop(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncCommitAcksAfterForce pins the default mode's contract under
+// concurrency: every Commit return implies the commit LSN is durable.
+func TestSyncCommitAcksAfterForce(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lsn, err := l.Append(&Record{Type: TCommit, Txn: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := l.Commit(lsn); err != nil {
+				errs <- err
+				return
+			}
+			if got := l.FlushedLSN(); got < lsn {
+				errs <- fmt.Errorf("acked before force: flushed %d < lsn %d", got, lsn)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGroupStopDrainsMidBatch stops the pipeline while one force is in
+// flight and more commits are parked behind it: Stop(true) must drain — the
+// parked commits are covered by one final force, acknowledged with nil, and
+// the writer exits without hanging.
+func TestGroupStopDrainsMidBatch(t *testing.T) {
+	dev := newGateDevice()
+	l, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurGroup})
+
+	first := make(chan error, 1)
+	go func() {
+		lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+		if err == nil {
+			err = l.Commit(lsn)
+		}
+		first <- err
+	}()
+	<-dev.enter // writer inside the first force
+
+	const n = 6
+	rest := make(chan error, n)
+	var lsns [n]LSN
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(&Record{Type: TCommit, Txn: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns[i] = lsn
+		go func() { rest <- l.Commit(lsn) }()
+	}
+	waitParked(t, l, n)
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- l.Stop(true) }()
+
+	dev.release <- struct{}{} // finish the in-flight force
+	if err := <-first; err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	<-dev.enter // final drain force for the parked batch
+	dev.release <- struct{}{}
+
+	for i := 0; i < n; i++ {
+		if err := <-rest; err != nil {
+			t.Fatalf("parked commit during drain: %v", err)
+		}
+	}
+	if err := <-stopped; err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, lsn := range lsns {
+		if got := l.FlushedLSN(); got < lsn {
+			t.Fatalf("drained commit not durable: flushed %d < lsn %d", got, lsn)
+		}
+	}
+	// After Stop, group commits fall back to the direct sync path.
+	dev.ungated.Store(true)
+	lsn, err := l.Append(&Record{Type: TCommit, Txn: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("post-stop commit: %v", err)
+	}
+	if got := l.FlushedLSN(); got < lsn {
+		t.Fatalf("post-stop commit not durable: flushed %d < lsn %d", got, lsn)
+	}
+}
+
+// TestGroupStopNoDrainRejectsParked stops the pipeline without a drain
+// (process-death simulation): parked commits must receive
+// ErrPipelineStopped and the device must see no further force.
+func TestGroupStopNoDrainRejectsParked(t *testing.T) {
+	dev := newGateDevice()
+	l, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurGroup})
+
+	first := make(chan error, 1)
+	go func() {
+		lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+		if err == nil {
+			err = l.Commit(lsn)
+		}
+		first <- err
+	}()
+	<-dev.enter
+
+	const n = 4
+	rest := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			lsn, err := l.Append(&Record{Type: TCommit, Txn: 2})
+			if err == nil {
+				err = l.Commit(lsn)
+			}
+			rest <- err
+		}()
+	}
+	waitParked(t, l, n)
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- l.Stop(false) }()
+	waitStopSignaled(t, l)
+	dev.release <- struct{}{} // the in-flight force still completes
+	if err := <-first; err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-rest; !errors.Is(err, ErrPipelineStopped) {
+			t.Fatalf("parked commit after Stop(false): err = %v, want ErrPipelineStopped", err)
+		}
+	}
+	if err := <-stopped; err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if syncs := dev.Syncs(); syncs != 1 {
+		t.Fatalf("device syncs = %d, want 1 (no drain force)", syncs)
+	}
+}
+
+// TestPeriodicByteThresholdForces pins DurPeriodic's byte trigger: with a
+// tiny Bytes threshold and an effectively-never ticker, an acknowledged
+// commit is forced by the nudged log-writer shortly after.
+func TestPeriodicByteThresholdForces(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurPeriodic, Interval: time.Hour, Bytes: 1})
+	lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if gs := l.GroupStats(); gs.ImmediateAcks != 1 {
+		t.Fatalf("ImmediateAcks = %d, want 1", gs.ImmediateAcks)
+	}
+	waitFlushed(t, l, lsn)
+	if err := l.Stop(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodicTickerForces pins the ticker trigger: appended-but-uncommitted
+// records become durable within a few intervals with no explicit flush.
+func TestPeriodicTickerForces(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurPeriodic, Interval: time.Millisecond})
+	lsn, err := l.Append(&Record{Type: TBegin, Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFlushed(t, l, lsn)
+	if err := l.Stop(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCommitForcesInBackground pins DurAsync: Commit acknowledges
+// immediately and the nudged log-writer makes the record durable soon after.
+func TestAsyncCommitForcesInBackground(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPipeline(PipelineConfig{Mode: DurAsync})
+	lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if gs := l.GroupStats(); gs.ImmediateAcks != 1 {
+		t.Fatalf("ImmediateAcks = %d, want 1", gs.ImmediateAcks)
+	}
+	waitFlushed(t, l, lsn)
+	if err := l.Stop(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManualFlushIntervalDisablesAutonomousForcing pins the crash-harness
+// determinism knob: with a negative Interval, periodic/async start no
+// writer, acks are immediate, and nothing forces until an explicit Flush.
+func TestManualFlushIntervalDisablesAutonomousForcing(t *testing.T) {
+	for _, mode := range []DurabilityMode{DurPeriodic, DurAsync} {
+		dev := NewMemDevice()
+		l, err := NewLog(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.StartPipeline(PipelineConfig{Mode: mode, Interval: -1, Bytes: 1})
+		lsn, err := l.Append(&Record{Type: TCommit, Txn: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if syncs := dev.Syncs(); syncs != 0 {
+			t.Fatalf("%s manual: device syncs = %d, want 0 before explicit flush", mode, syncs)
+		}
+		if err := l.Flush(lsn); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.FlushedLSN(); got < lsn {
+			t.Fatalf("%s manual: flushed %d < lsn %d after explicit flush", mode, got, lsn)
+		}
+		if err := l.Stop(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParseDurabilityMode pins the flag-name round trip.
+func TestParseDurabilityMode(t *testing.T) {
+	for _, mode := range []DurabilityMode{DurSync, DurGroup, DurPeriodic, DurAsync} {
+		got, err := ParseDurabilityMode(mode.String())
+		if err != nil || got != mode {
+			t.Fatalf("ParseDurabilityMode(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseDurabilityMode("fsync-maybe"); err == nil {
+		t.Fatal("ParseDurabilityMode accepted an unknown mode")
+	}
+	if got, err := ParseDurabilityMode(""); err != nil || got != DurSync {
+		t.Fatalf("ParseDurabilityMode(\"\") = %v, %v; want DurSync default", got, err)
+	}
+}
+
+// waitStopSignaled polls until Stop has closed the writer's stop channel,
+// so a subsequently released force is followed by the stop-priority path
+// rather than a leftover wake nudge.
+func waitStopSignaled(t *testing.T, l *Log) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		ch := l.p.stopCh
+		l.mu.Unlock()
+		select {
+		case <-ch:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for Stop to signal the writer")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// waitFlushed polls until the log's durable horizon covers lsn.
+func waitFlushed(t *testing.T, l *Log, lsn LSN) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.FlushedLSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for background force of LSN %d (flushed %d)", lsn, l.FlushedLSN())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

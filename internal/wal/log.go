@@ -7,6 +7,12 @@ import (
 
 // Log is the write-ahead log: it assigns LSNs, frames records onto a Device
 // and tracks the durable horizon. All methods are safe for concurrent use.
+//
+// Durability is governed by the commit pipeline (StartPipeline): in the
+// default DurSync mode every Commit forces the device on the calling
+// goroutine; the other modes batch or defer forces (see DurabilityMode).
+// Device forces never run under the append mutex, so record appends
+// pipeline behind an in-flight force instead of serializing on it.
 type Log struct {
 	mu      sync.Mutex
 	dev     Device
@@ -16,6 +22,14 @@ type Log struct {
 
 	appends uint64
 	flushes uint64
+
+	// forceMu serializes device forces; it is never held together with mu
+	// (force takes mu briefly before and after the device Sync, not
+	// across it), so appends proceed while a force is in flight.
+	forceMu sync.Mutex
+
+	// p is the group-commit pipeline state (see group.go).
+	p pipeline
 
 	// obs, when set, is told how long appends and forced syncs take.
 	// Set once (SetObserver) before the log sees traffic.
@@ -71,7 +85,8 @@ func (l *Log) appendLocked(r *Record) error {
 	if l.obs != nil {
 		t0 = time.Now()
 	}
-	if err := l.dev.Append(frame(r.Encode())); err != nil {
+	f := frame(r.Encode())
+	if err := l.dev.Append(f); err != nil {
 		return err
 	}
 	if l.obs != nil {
@@ -80,6 +95,7 @@ func (l *Log) appendLocked(r *Record) error {
 	l.next++
 	l.synced = r.LSN
 	l.appends++
+	l.p.unforced += int64(len(f))
 	return nil
 }
 
@@ -100,23 +116,39 @@ func (l *Log) Append(r *Record) (LSN, error) {
 // on every page write, so the common case must be cheap).
 func (l *Log) Flush(upto LSN) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if upto <= l.flushed {
+	covered := upto <= l.flushed
+	l.mu.Unlock()
+	if covered {
 		return nil
 	}
-	return l.syncLocked()
+	return l.force(upto)
 }
 
 // FlushAll forces durability of everything appended so far.
 func (l *Log) FlushAll() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.syncLocked()
+	return l.force(0)
 }
 
-// syncLocked forces the device and advances the durable horizon, timing the
-// sync for the observer. Caller holds l.mu.
-func (l *Log) syncLocked() error {
+// force makes every record appended so far durable: it captures the synced
+// horizon, releases the mutex, forces the device (serialized on forceMu so
+// concurrent forcers coalesce — a caller that waited behind another force
+// covering its target returns without a second device sync), then advances
+// the durable horizon. upto, when nonzero, is the caller's target LSN: a
+// horizon already past it skips the device sync entirely.
+func (l *Log) force(upto LSN) error {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	l.mu.Lock()
+	if upto != 0 && upto <= l.flushed {
+		l.mu.Unlock()
+		return nil
+	}
+	target := l.synced
+	if target <= l.flushed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
 	var t0 time.Time
 	if l.obs != nil {
 		t0 = time.Now()
@@ -127,8 +159,13 @@ func (l *Log) syncLocked() error {
 	if l.obs != nil {
 		l.obs.LogFlush(time.Since(t0))
 	}
-	l.flushed = l.synced
+	l.mu.Lock()
+	if target > l.flushed {
+		l.flushed = target
+	}
 	l.flushes++
+	l.p.unforced = 0
+	l.mu.Unlock()
 	return nil
 }
 
