@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	blinktree "blinktree"
+	"blinktree/internal/buildinfo"
 	"blinktree/internal/obs"
 )
 
@@ -30,11 +31,14 @@ import (
 type Source interface {
 	Snapshot() blinktree.Metrics
 	TraceEvents() []blinktree.TraceEvent
+	Spans() []blinktree.OpTrace
 }
 
 // Handler serves src's current snapshot. The format is chosen by the
 // "format" query parameter: "prometheus" (or "prom") for text exposition,
-// "trace" for the JSON Lines trace dump, anything else for expvar JSON.
+// "trace" for the JSON Lines trace dump, "spans" for the sampled-span ring
+// as Chrome trace-event JSON (loadable in Perfetto / about:tracing),
+// anything else for expvar JSON.
 func Handler(src Source) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("format") {
@@ -44,6 +48,9 @@ func Handler(src Source) http.Handler {
 		case "trace":
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			_ = obs.WriteTrace(w, src.TraceEvents())
+		case "spans":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = obs.WriteChromeTrace(w, src.Spans())
 		default:
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			_ = WriteExpvar(w, src.Snapshot())
@@ -104,6 +111,16 @@ func ExpvarDoc(m blinktree.Metrics) map[string]any {
 		"emitted":          m.Obs.TraceSeq,
 		"dropped":          m.Obs.TraceDropped,
 		"latch_long_waits": m.Obs.LatchLongWaits,
+	}
+	stages := map[string]any{}
+	for st := obs.SpanStage(0); st < obs.StageCount; st++ {
+		stages[st.String()] = histSummary(m.Obs.SpanStages[st])
+	}
+	doc["spans"] = map[string]any{
+		"sampled":           m.Obs.SpansSampled,
+		"slow":              m.Obs.SlowOps,
+		"slow_threshold_ns": m.Obs.SlowOpThresholdNS,
+		"stages":            stages,
 	}
 	return doc
 }
@@ -173,6 +190,10 @@ func (p *promWriter) hist(name, labelKey, labelVal string, h obs.HistogramSnapsh
 func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 	p := &promWriter{w: w}
 	s := m.Stats
+
+	p.header("blinktree_build_info", "Build metadata; the value is always 1.", "gauge")
+	p.printf("blinktree_build_info{version=%q,goversion=%q,tags=%q,revision=%q} 1\n",
+		buildinfo.Version(), buildinfo.GoVersion(), buildinfo.Tags(), buildinfo.Revision())
 
 	p.header("blinktree_ops_total", "Completed operations by class.", "counter")
 	for _, v := range []struct {
@@ -385,6 +406,16 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 		p.header("blinktree_trace_events_total", "Trace events emitted and dropped by the bounded ring.", "counter")
 		p.printf("blinktree_trace_events_total{state=\"emitted\"} %d\n", m.Obs.TraceSeq)
 		p.printf("blinktree_trace_events_total{state=\"dropped\"} %d\n", m.Obs.TraceDropped)
+
+		p.header("blinktree_stage_latency_seconds", "Per-stage time within sampled operation spans.", "histogram")
+		for st := obs.SpanStage(0); st < obs.StageCount; st++ {
+			p.hist("blinktree_stage_latency_seconds", "stage", st.String(), m.Obs.SpanStages[st])
+		}
+		p.header("blinktree_spans_total", "Sampled spans and slow-op flight-recorder captures.", "counter")
+		p.printf("blinktree_spans_total{event=\"sampled\"} %d\n", m.Obs.SpansSampled)
+		p.printf("blinktree_spans_total{event=\"slow\"} %d\n", m.Obs.SlowOps)
+		p.header("blinktree_slow_op_threshold_seconds", "Current slow-op flight-recorder threshold.", "gauge")
+		p.printf("blinktree_slow_op_threshold_seconds %g\n", float64(m.Obs.SlowOpThresholdNS)/1e9)
 	}
 
 	return p.err

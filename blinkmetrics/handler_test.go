@@ -172,6 +172,193 @@ func TestWriteExpvarDisabledTree(t *testing.T) {
 	}
 }
 
+// TestPrometheusHeadersEveryFamily asserts that EVERY family appearing as a
+// sample line in the Prometheus exposition carries both a # HELP and a
+// # TYPE header, for a tree with metrics enabled so the Obs-gated sections
+// are exercised too. Histogram families export _bucket/_sum/_count samples
+// under the base family's headers.
+func TestPrometheusHeadersEveryFamily(t *testing.T) {
+	tr := openTree(t)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+
+	help := map[string]bool{}
+	typ := map[string]string{}
+	var families []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("malformed HELP line %q (missing help text?)", line)
+			}
+			help[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typ[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			t.Fatalf("sample line with empty family: %q", line)
+		}
+		families = append(families, name)
+	}
+	if len(families) == 0 {
+		t.Fatal("no sample lines in exposition")
+	}
+
+	// base maps a sample family to the family its headers are declared
+	// under: histogram samples use the _bucket/_sum/_count suffixes.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && typ[trimmed] == "histogram" {
+				return trimmed
+			}
+		}
+		return name
+	}
+	seen := map[string]bool{}
+	for _, name := range families {
+		b := base(name)
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if !help[b] {
+			t.Errorf("family %q (sample %q) has no # HELP header", b, name)
+		}
+		if typ[b] == "" {
+			t.Errorf("family %q (sample %q) has no # TYPE header", b, name)
+		}
+	}
+
+	// The wal_group families named by the runbook must all be declared.
+	for _, f := range []string{
+		"blinktree_wal_group_total", "blinktree_wal_group_batch_max",
+		"blinktree_wal_group_force_seconds", "blinktree_wal_group_ack_seconds",
+		"blinktree_wal_group_batch_commits",
+	} {
+		if !help[f] || typ[f] == "" {
+			t.Errorf("wal group family %q missing headers (help=%v type=%q)", f, help[f], typ[f])
+		}
+	}
+}
+
+// openSpanTree builds an in-memory tree sampling every operation's span.
+func openSpanTree(t *testing.T) *blinktree.Tree {
+	t.Helper()
+	if !obs.Compiled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	tr, err := blinktree.Open(blinktree.Options{
+		PageSize:      512,
+		Observability: &blinktree.Observability{Spans: true, SampleEvery: 1},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	for i := 0; i < 200; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if err := tr.Put(k, k); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if _, err := tr.Get(k); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	return tr
+}
+
+func TestHandlerSpansEndpoint(t *testing.T) {
+	tr := openSpanTree(t)
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=spans", nil))
+
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	spans, err := obs.ReadChromeTrace(rec.Body)
+	if err != nil {
+		t.Fatalf("spans endpoint does not round-trip: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans from a tree sampling every operation")
+	}
+	for _, sp := range spans {
+		if sp.Total <= 0 {
+			t.Errorf("span %d has non-positive total %v", sp.Seq, sp.Total)
+		}
+	}
+}
+
+// TestPrometheusSpanSeries checks the span-derived families: stage latency
+// histograms, the sampled/slow counters, and the threshold gauge.
+func TestPrometheusSpanSeries(t *testing.T) {
+	tr := openSpanTree(t)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+	body := sb.String()
+	for _, series := range []string{
+		"# TYPE blinktree_stage_latency_seconds histogram",
+		`blinktree_stage_latency_seconds_bucket{stage="traverse",le="+Inf"}`,
+		`blinktree_stage_latency_seconds_bucket{stage="wal-append",le="+Inf"}`,
+		`blinktree_spans_total{event="sampled"}`,
+		`blinktree_spans_total{event="slow"}`,
+		"blinktree_slow_op_threshold_seconds",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("missing series %q", series)
+		}
+	}
+	if strings.Contains(body, `blinktree_spans_total{event="sampled"} 0`) {
+		t.Errorf("sampled span counter is zero with SampleEvery=1")
+	}
+}
+
+// TestPrometheusBuildInfo checks the build_info gauge is exported even for a
+// tree with observability disabled.
+func TestPrometheusBuildInfo(t *testing.T) {
+	tr, err := blinktree.Open(blinktree.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer tr.Close()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+	body := sb.String()
+	if !strings.Contains(body, "# TYPE blinktree_build_info gauge") {
+		t.Errorf("missing build_info TYPE header")
+	}
+	if !strings.Contains(body, `blinktree_build_info{version="`) || !strings.Contains(body, "} 1\n") {
+		t.Errorf("missing build_info sample: %q", body[:200])
+	}
+}
+
 // TestPrometheusRecoveredTree reopens a durable tree and checks that the
 // recovery series reflect the replay (Recovered gauge flips to 1 and the
 // scan counter is nonzero).

@@ -177,11 +177,12 @@ type Options struct {
 	OptimisticReads ReadPath
 
 	// Observability enables per-operation latency histograms
-	// (Observability.Metrics) and/or the SMO lifecycle trace ring
-	// (Observability.Trace). Nil disables both; the hot paths then pay
-	// only a nil-pointer check (see the overhead benchmark in
-	// internal/bench). Snapshot, TraceEvents and the blinkmetrics HTTP
-	// handler read what this collects.
+	// (Observability.Metrics), the SMO lifecycle trace ring
+	// (Observability.Trace), and/or sampled per-operation span tracing
+	// (Observability.Spans). Nil disables all of them; the hot paths then
+	// pay only a nil-pointer check (see the overhead benchmark in
+	// internal/bench). Snapshot, TraceEvents, Spans/SlowSpans and the
+	// blinkmetrics HTTP handler read what this collects.
 	Observability *Observability
 }
 
@@ -196,6 +197,13 @@ type Metrics = core.TreeMetrics
 // TraceEvent is one structured trace event: an SMO lifecycle transition, a
 // long latch wait, a no-wait lock failure, a deadlock victim.
 type TraceEvent = obs.Event
+
+// OpTrace is one finished operation span: a sampled operation's total
+// latency broken into exclusive per-stage times (descent, latch waits,
+// buffer fetches, lock waits, WAL append, group-commit park/force), with a
+// bounded interval timeline. Spans and SlowSpans return them; see
+// Observability.Spans.
+type OpTrace = obs.OpTrace
 
 // Tree is a concurrent ordered key/value map backed by the B-link tree.
 // All methods are safe for concurrent use.
@@ -443,6 +451,17 @@ func (t *Tree) Snapshot() Metrics { return t.inner.Snapshot() }
 // Options.Observability enabled tracing. The ring is bounded and drops the
 // oldest events under pressure (Snapshot reports how many).
 func (t *Tree) TraceEvents() []TraceEvent { return t.inner.TraceEvents() }
+
+// Spans returns the sampled operation spans, oldest first; nil unless
+// Options.Observability enabled span sampling (Observability.Spans). The
+// ring is bounded (Observability.SpanCapacity) and drops the oldest spans.
+func (t *Tree) Spans() []OpTrace { return t.inner.Spans() }
+
+// SlowSpans returns the slow-op flight recorder's contents, oldest first:
+// the spans of operations whose latency met Observability.SlowOpThreshold
+// (or the adaptive p999 default), including stage-less stubs for slow
+// operations the sampler did not select. Nil unless span sampling is on.
+func (t *Tree) SlowSpans() []OpTrace { return t.inner.SlowSpans() }
 
 // LatchStats returns this tree's latch acquisition/wait counters.
 func (t *Tree) LatchStats() LatchStats { return t.inner.LatchStats() }

@@ -12,6 +12,10 @@
 //	blinkbench -lat                     # mixed-workload latency profile
 //	blinkbench -lat -json               # ... plus the expvar JSON snapshot
 //	blinkbench -lat -trace              # ... plus the SMO trace events
+//	blinkbench -spans                   # ... plus sampled operation spans and
+//	                                    #     the tail-latency attribution table
+//	blinkbench -spans -spansout t.json  # ... and write the spans as Chrome
+//	                                    #     trace-event JSON (Perfetto)
 //	blinkbench -commit                  # commit-path durability sweep
 //	blinkbench -commit -out BENCH_commit.json -gate 1.0
 //	                                    # ... persist the trajectory and fail
@@ -32,6 +36,7 @@ import (
 
 	"blinktree/blinkmetrics"
 	"blinktree/internal/bench"
+	"blinktree/internal/buildinfo"
 	"blinktree/internal/core"
 	"blinktree/internal/obs"
 	"blinktree/internal/wal"
@@ -47,6 +52,10 @@ func main() {
 		lat      = flag.Bool("lat", false, "run a mixed-workload latency profile (p50/p99/p999 per operation class) instead of experiments")
 		jsonOut  = flag.Bool("json", false, "with -lat: print the expvar JSON metrics snapshot after the profile")
 		traceOut = flag.Bool("trace", false, "with -lat: print the buffered SMO trace events after the profile")
+		spansOut = flag.Bool("spans", false, "with -lat (implied): sample operation spans and print the tail-latency attribution table")
+		spansTo  = flag.String("spansout", "", "with -spans: write the sampled spans as Chrome trace-event JSON to this file")
+		sample   = flag.Int("sample", 64, "with -spans: sample one operation span in every N operations")
+		version  = flag.Bool("version", false, "print build information and exit")
 
 		commit     = flag.Bool("commit", false, "run the commit-path durability sweep instead of experiments")
 		durability = flag.String("durability", "sync,group", "with -commit: comma-separated durability modes to measure")
@@ -56,6 +65,11 @@ func main() {
 		gate       = flag.Float64("gate", 0, "with -commit: exit nonzero unless group throughput >= gate * sync throughput at the highest writer count (0 disables)")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	if *commit {
 		if err := commitSweep(os.Stdout, *durability, *writers, *commitOps, *out, *gate); err != nil {
@@ -84,8 +98,12 @@ func main() {
 		sc.Ops = *ops
 	}
 
-	if *lat || *jsonOut || *traceOut {
-		if err := latencyProfile(os.Stdout, sc, *jsonOut, *traceOut); err != nil {
+	if *lat || *jsonOut || *traceOut || *spansOut || *spansTo != "" {
+		p := profileOpts{
+			json: *jsonOut, trace: *traceOut,
+			spans: *spansOut || *spansTo != "", spansPath: *spansTo, sample: *sample,
+		}
+		if err := latencyProfile(os.Stdout, sc, p); err != nil {
 			fmt.Fprintf(os.Stderr, "latency profile: %v\n", err)
 			os.Exit(1)
 		}
@@ -195,14 +213,26 @@ func commitSweep(w io.Writer, modesCSV, writersCSV string, ops int, outPath stri
 	return nil
 }
 
+// profileOpts selects the optional outputs of latencyProfile.
+type profileOpts struct {
+	json      bool   // expvar JSON snapshot
+	trace     bool   // SMO trace ring dump
+	spans     bool   // sample operation spans, print tail attribution
+	spansPath string // write sampled spans as Chrome trace JSON here
+	sample    int    // span sampling rate (1 in N)
+}
+
 // latencyProfile runs a 40/40/20 insert/search/delete mix with full
 // observability enabled and reports per-class latency percentiles (preload
-// excluded), optionally followed by the expvar JSON snapshot and the trace
-// ring contents.
-func latencyProfile(w io.Writer, sc bench.Scale, jsonOut, traceOut bool) error {
+// excluded), optionally followed by the expvar JSON snapshot, the trace
+// ring contents, and the sampled-span tail-latency attribution table.
+func latencyProfile(w io.Writer, sc bench.Scale, po profileOpts) error {
 	tr, err := core.New(core.Options{
 		PageSize: 1024, MinFill: 0.35, Workers: 2,
-		Observability: &obs.Config{Metrics: true, Trace: true},
+		Observability: &obs.Config{
+			Metrics: true, Trace: true,
+			Spans: po.spans, SampleEvery: po.sample,
+		},
 	})
 	if err != nil {
 		return err
@@ -257,18 +287,40 @@ func latencyProfile(w io.Writer, sc bench.Scale, jsonOut, traceOut bool) error {
 	}
 	tw.Flush()
 
-	if jsonOut {
+	if po.json {
 		fmt.Fprintln(w, "-- expvar snapshot --")
 		if err := blinkmetrics.WriteExpvar(w, m); err != nil {
 			return err
 		}
 	}
-	if traceOut {
+	if po.trace {
 		evs := tr.TraceEvents()
 		fmt.Fprintf(w, "-- trace ring: %d events (%d emitted, %d dropped) --\n",
 			len(evs), m.Obs.TraceSeq, m.Obs.TraceDropped)
 		for _, e := range evs {
 			fmt.Fprintln(w, obs.FormatEvent(e))
+		}
+	}
+	if po.spans {
+		spans := tr.Spans()
+		if err := obs.WriteAttribution(w, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "slow-op flight recorder: %d captures at/above %s\n",
+			len(tr.SlowSpans()), time.Duration(m.Obs.SlowOpThresholdNS))
+		if po.spansPath != "" {
+			f, err := os.Create(po.spansPath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, spans); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %d spans to %s\n", len(spans), po.spansPath)
 		}
 	}
 	return nil

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"blinktree"
+	"blinktree/internal/buildinfo"
 )
 
 func main() {
@@ -30,8 +31,13 @@ func main() {
 		pageSize   = flag.Int("pagesize", 4096, "page size the tree was created with")
 		deep       = flag.Bool("deep", false, "run the deep audit: page scan, D_D placement, WAL tail")
 		durability = flag.String("durability", "sync", "durability mode to open with: sync, group, periodic or async (recovery is identical in every mode)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "blinkcheck: -path is required")
 		os.Exit(2)

@@ -8,6 +8,8 @@
 //	blinkdump -path /data/mytree -wal       # log records instead
 //	blinkdump -path /data/mytree -wal -tree # both
 //	blinkdump -trace events.jsonl           # render a trace dump ("-" = stdin)
+//	blinkdump -spans trace.json             # tail-latency attribution from a
+//	                                        # span capture ("-" = stdin)
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"blinktree/internal/buildinfo"
 	"blinktree/internal/core"
 	"blinktree/internal/obs"
 	"blinktree/internal/storage"
@@ -30,20 +33,35 @@ func main() {
 		dumpWAL   = flag.Bool("wal", false, "dump write-ahead log records")
 		dumpTree  = flag.Bool("tree", false, "dump tree structure (default unless -wal)")
 		traceFile = flag.String("trace", "", "render a JSON Lines trace dump (blinkmetrics ?format=trace or blinkbench -lat -trace); \"-\" reads stdin")
+		spansFile = flag.String("spans", "", "render the tail-latency attribution table from a Chrome trace-event span capture (blinkmetrics ?format=spans or blinkbench -spansout); \"-\" reads stdin")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	if *traceFile != "" {
 		if err := dumpTrace(*traceFile); err != nil {
 			fmt.Fprintf(os.Stderr, "blinkdump: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *spansFile != "" {
+		if err := dumpSpans(*spansFile); err != nil {
+			fmt.Fprintf(os.Stderr, "blinkdump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceFile != "" || *spansFile != "" {
 		if *path == "" {
 			return
 		}
 	}
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "blinkdump: -path or -trace is required")
+		fmt.Fprintln(os.Stderr, "blinkdump: -path, -trace or -spans is required")
 		os.Exit(2)
 	}
 	if !*dumpWAL {
@@ -122,4 +140,23 @@ func dumpTrace(name string) error {
 		fmt.Println(obs.FormatEvent(e))
 	}
 	return nil
+}
+
+// dumpSpans reads a Chrome trace-event span capture and prints the
+// tail-latency attribution table.
+func dumpSpans(name string) error {
+	var r io.Reader = os.Stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := obs.ReadChromeTrace(r)
+	if err != nil {
+		return err
+	}
+	return obs.WriteAttribution(os.Stdout, spans)
 }

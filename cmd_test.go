@@ -2,6 +2,7 @@ package blinktree_test
 
 import (
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -69,6 +70,48 @@ func TestCommandLineTools(t *testing.T) {
 	for _, want := range []string{"Figure 1", "Figure 4", "aborted"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("blinkbench figures missing %q:\n%s", want, out)
+		}
+	}
+
+	for _, tool := range []string{"blinkbench", "blinkcheck", "blinkdump"} {
+		out = run("run", "./cmd/"+tool, "-version")
+		if !strings.Contains(out, "blinktree") || !strings.Contains(out, "go1") {
+			t.Fatalf("%s -version output:\n%s", tool, out)
+		}
+	}
+}
+
+// TestSpanTraceEndToEnd runs blinkbench with span sampling, captures the
+// Chrome trace JSON, and feeds it back through blinkdump -spans: the
+// attribution table must come out of both ends.
+func TestSpanTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd tools are slow to build; skipped in -short")
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+
+	out, err := exec.Command("go", "run", "./cmd/blinkbench",
+		"-lat", "-spans", "-preload", "500", "-ops", "2000",
+		"-sample", "8", "-spansout", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("blinkbench -spans: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"tail-latency attribution", "stage coverage 100.0%",
+		"p99 tail:", "p999 tail:", "slow-op flight recorder", "wrote",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("blinkbench -spans missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command("go", "run", "./cmd/blinkdump", "-spans", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("blinkdump -spans: %v\n%s", err, out)
+	}
+	for _, want := range []string{"tail-latency attribution", "p999 tail:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("blinkdump -spans missing %q:\n%s", want, out)
 		}
 	}
 }

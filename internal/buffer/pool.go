@@ -130,6 +130,15 @@ func NewPool(store storage.Store, log *wal.Log, codec Codec, capacity int) *Pool
 // Fetch pins the object for id, loading it from the store if absent. The
 // caller must Unpin when done.
 func (p *Pool) Fetch(id page.PageID) (Object, error) {
+	obj, _, err := p.FetchMiss(id)
+	return obj, err
+}
+
+// FetchMiss is Fetch with a miss report: the bool is true when this call
+// loaded the object from the store (a pool miss) rather than finding it
+// resident. Span tracing uses it to split fetch time into buffer-hit vs
+// page-load stages without a second map lookup.
+func (p *Pool) FetchMiss(id page.PageID) (Object, bool, error) {
 	p.mu.Lock()
 	for {
 		f, ok := p.frames[id]
@@ -140,14 +149,14 @@ func (p *Pool) Fetch(id page.PageID) (Object, error) {
 				f.ref = true
 				p.mu.Unlock()
 				p.hits.Add(1)
-				return f.obj, nil
+				return f.obj, false, nil
 			case stateLoading, stateEvicting:
 				// Someone else is transitioning this frame; wait and retry.
 				p.cond.Wait()
 			case stateFailed:
 				err := f.err
 				p.mu.Unlock()
-				return nil, err
+				return nil, false, err
 			}
 			continue
 		}
@@ -158,7 +167,7 @@ func (p *Pool) Fetch(id page.PageID) (Object, error) {
 		// page's pin accounting across two frames).
 		if err := p.makeRoomLocked(); err != nil {
 			p.mu.Unlock()
-			return nil, err
+			return nil, false, err
 		}
 		if _, ok := p.frames[id]; !ok {
 			break
@@ -192,13 +201,13 @@ func (p *Pool) Fetch(id page.PageID) (Object, error) {
 		p.removeFromClock(id)
 		p.cond.Broadcast()
 		p.mu.Unlock()
-		return nil, err
+		return nil, true, err
 	}
 	f.obj = obj
 	f.state = stateReady
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	return obj, nil
+	return obj, true, nil
 }
 
 // Insert registers a freshly allocated page's object in the pool, pinned and

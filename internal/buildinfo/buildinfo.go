@@ -1,0 +1,83 @@
+// Package buildinfo is the single source of build metadata for the CLI
+// tools' -version flags and the blinktree_build_info metric: a release
+// version (ldflags-overridable), the Go toolchain version, and the build
+// tags and VCS revision when the binary was built from a module.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// version is the release version, "dev" unless overridden at link time:
+//
+//	go build -ldflags "-X blinktree/internal/buildinfo.version=v1.2.3"
+var version = "dev"
+
+// Version returns the release version ("dev" for untagged builds).
+func Version() string { return version }
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// Tags returns the build tags the binary was compiled with (comma
+// separated), or "" when none are known.
+func Tags() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "-tags" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// Revision returns the VCS revision the binary was built from (shortened),
+// or "" when not stamped.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// String formats the one-line version banner printed by the tools'
+// -version flags, e.g. "blinktree dev go1.24.1 (tags: obstrace)".
+func String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blinktree %s %s", Version(), GoVersion())
+	var extra []string
+	if t := Tags(); t != "" {
+		extra = append(extra, "tags: "+t)
+	}
+	if r := Revision(); r != "" {
+		extra = append(extra, "rev: "+r)
+	}
+	if len(extra) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(extra, ", "))
+	}
+	return b.String()
+}

@@ -23,6 +23,11 @@ type Cursor struct {
 
 	path []pathEntry
 	dx   uint64
+
+	// sp is the owning scan's span (nil when unsampled): one span covers
+	// the whole scan, accumulating positioning and side-step stages across
+	// Next calls.
+	sp *obs.Span
 }
 
 // NewCursor returns a cursor over [start, end); end nil means +inf, start
@@ -91,7 +96,7 @@ func (c *Cursor) Next() (key, val []byte, ok bool, err error) {
 			c.done = true
 			return nil, nil, false, nil
 		}
-		q, perr := c.t.pinLatch(sib, latch.Shared)
+		q, perr := c.t.pinLatchSpan(sib, latch.Shared, c.sp)
 		c.t.unlatchUnpin(leaf, latch.Shared, false)
 		if perr != nil || q.dead {
 			if perr == nil {
@@ -128,7 +133,7 @@ func (c *Cursor) position(seek []byte) (*node, error) {
 
 func (c *Cursor) freshTraverse(seek []byte) (*node, error) {
 	dx := c.t.dx.v.Load()
-	leaf, path, err := c.t.traverseRead(traverseOpts{key: seek, intent: latch.Shared, dx: dx})
+	leaf, path, err := c.t.traverseRead(traverseOpts{key: seek, intent: latch.Shared, dx: dx, sp: c.sp})
 	if err != nil {
 		return nil, err
 	}
@@ -150,9 +155,10 @@ func (c *Cursor) Seek(target []byte) {
 // Scan calls fn for each record in [start, end) in key order; fn returning
 // false stops the scan. No latches are held across fn calls.
 func (t *Tree) Scan(start, end []byte, fn func(key, val []byte) bool) error {
-	t0 := t.obsStart()
-	defer t.obsOp(obs.OpScan, t0)
+	t0, sp := t.obsBegin(obs.OpScan)
+	defer t.obsEnd(obs.OpScan, t0, sp)
 	cur := t.NewCursor(start, end)
+	cur.sp = sp
 	for {
 		k, v, ok, err := cur.Next()
 		if err != nil {

@@ -91,6 +91,33 @@ func (t *Tree) obsOp(op obs.Op, t0 time.Time) {
 	}
 }
 
+// obsBegin starts an operation's observation: the histogram start time plus
+// a span when the sampler selects this operation (nil otherwise). The
+// metrics-off path is one nil check, no clock read, no span.
+func (t *Tree) obsBegin(op obs.Op) (time.Time, *obs.Span) {
+	if !t.obs.MetricsOn() {
+		return time.Time{}, nil
+	}
+	return time.Now(), t.obs.SpanStart(op)
+}
+
+// obsEnd finishes an operation's observation: records the latency
+// histogram, finishes the span (sampled ops), or checks the slow-op flight
+// recorder threshold (unsampled ops). op is passed again because Put only
+// resolves insert-vs-update at the end.
+func (t *Tree) obsEnd(op obs.Op, t0 time.Time, sp *obs.Span) {
+	if t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	t.obs.ObserveOp(op, d)
+	if sp != nil {
+		t.obs.SpanEnd(sp, op, d)
+	} else {
+		t.obs.SlowOp(op, d)
+	}
+}
+
 // tracing reports whether trace events should be built and emitted.
 func (t *Tree) tracing() bool { return t.obs.TraceOn() }
 

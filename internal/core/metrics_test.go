@@ -110,6 +110,7 @@ func BenchmarkObsOverheadMixed(b *testing.B) {
 		{"disabled", nil},
 		{"metrics", &obs.Config{Metrics: true}},
 		{"full", &obs.Config{Metrics: true, Trace: true}},
+		{"sampled", &obs.Config{Metrics: true, Trace: true, Spans: true}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			tr := newTestTree(b, Options{PageSize: 4096, Workers: 2, Observability: bc.cfg})

@@ -16,6 +16,9 @@ type recOpParams struct {
 	prevLSN  wal.LSN
 	clr      bool
 	undoNext wal.LSN
+	// sp is the sampled operation's span (nil when unsampled); the WAL
+	// append in logRecOp is timed into it.
+	sp *obs.Span
 }
 
 // Get returns a copy of the value stored under key.
@@ -28,10 +31,10 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.c.searches.Add(1)
-	t0 := t.obsStart()
-	defer t.obsOp(obs.OpSearch, t0)
+	t0, sp := t.obsBegin(obs.OpSearch)
+	defer t.obsEnd(obs.OpSearch, t0, sp)
 	dx := t.dx.v.Load()
-	leaf, path, err := t.traverseRead(traverseOpts{key: key, intent: latch.Shared, dx: dx})
+	leaf, path, err := t.traverseRead(traverseOpts{key: key, intent: latch.Shared, dx: dx, sp: sp})
 	if err != nil {
 		return nil, err
 	}
@@ -71,13 +74,13 @@ func (t *Tree) Put(key, val []byte) error {
 		return err
 	}
 	t.c.inserts.Add(1)
-	t0 := t.obsStart()
-	_, updated, err := t.putInternal(recOpParams{}, key, val)
+	t0, sp := t.obsBegin(obs.OpInsert)
+	_, updated, err := t.putInternal(recOpParams{sp: sp}, key, val)
 	if updated {
 		t.c.updates.Add(1)
-		t.obsOp(obs.OpUpdate, t0)
+		t.obsEnd(obs.OpUpdate, t0, sp)
 	} else {
-		t.obsOp(obs.OpInsert, t0)
+		t.obsEnd(obs.OpInsert, t0, sp)
 	}
 	return err
 }
@@ -92,9 +95,9 @@ func (t *Tree) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.c.deletes.Add(1)
-	t0 := t.obsStart()
-	defer t.obsOp(obs.OpDelete, t0)
-	_, err := t.deleteInternal(recOpParams{}, key)
+	t0, sp := t.obsBegin(obs.OpDelete)
+	defer t.obsEnd(obs.OpDelete, t0, sp)
+	_, err := t.deleteInternal(recOpParams{sp: sp}, key)
 	return err
 }
 
@@ -104,7 +107,7 @@ func (t *Tree) Delete(key []byte) error {
 func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, bool, error) {
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{
-		key: key, intent: latch.Update, promote: true, dx: dx,
+		key: key, intent: latch.Update, promote: true, dx: dx, sp: lp.sp,
 	})
 	if err != nil {
 		return 0, false, err
@@ -149,7 +152,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 			}
 			var err error
 			leaf, path, err = t.traverse(traverseOpts{
-				key: key, intent: latch.Update, promote: true, dx: dx,
+				key: key, intent: latch.Update, promote: true, dx: dx, sp: lp.sp,
 			})
 			if err != nil {
 				return 0, false, err
@@ -162,7 +165,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 			return 0, false, err
 		}
 		if leaf.pastHigh(t.cmp, key) {
-			right, err := t.pinLatch(leaf.c.Right, latch.Exclusive)
+			right, err := t.pinLatchSpan(leaf.c.Right, latch.Exclusive, lp.sp)
 			t.unlatchUnpin(leaf, latch.Exclusive, true)
 			if err != nil {
 				return 0, false, err
@@ -176,7 +179,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 func (t *Tree) deleteInternal(lp recOpParams, key []byte) (wal.LSN, error) {
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{
-		key: key, intent: latch.Update, promote: true, dx: dx,
+		key: key, intent: latch.Update, promote: true, dx: dx, sp: lp.sp,
 	})
 	if err != nil {
 		return 0, err
@@ -206,6 +209,8 @@ func (t *Tree) logRecOp(leaf *node, lp recOpParams, op wal.Op, key, val, old []b
 	if t.log == nil {
 		return 0, nil
 	}
+	at0 := lp.sp.Now()
+	defer lp.sp.StageSince(obs.StageWALAppend, 0, at0)
 	return t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
 		leaf.c.LSN = uint64(lsn)
 		return &wal.Record{

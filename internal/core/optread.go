@@ -2,6 +2,7 @@ package core
 
 import (
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 	"blinktree/internal/page"
 )
 
@@ -47,12 +48,16 @@ func (t *Tree) traverseRead(o traverseOpts) (*node, []pathEntry, error) {
 	if t.optReads && o.intent == latch.Shared && o.level == 0 && !o.promote {
 		for attempt := 0; attempt < maxOptAttempts; attempt++ {
 			t.c.optAttempts.Add(1)
+			o.sp.EnterPhase(obs.StageDescend)
 			leaf, path, ok := t.traverseOpt(o)
+			o.sp.ExitPhase()
 			if ok {
 				return leaf, path, nil
 			}
+			o.sp.Restart()
 			t.c.optRestarts.Add(1)
 		}
+		o.sp.Fallback()
 		t.c.optFallbacks.Add(1)
 		t.traceOptFallback()
 	}
@@ -80,7 +85,7 @@ func (n *node) routeView() (*route, uint64, bool) {
 // the remembered path, exactly like traverse.
 func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
 	rootID, rootLevel := t.readAnchor()
-	n, err := t.fetch(rootID)
+	n, err := t.fetchSpan(rootID, o.sp)
 	if err != nil {
 		return nil, nil, false // root shrunk away; retry from new anchor
 	}
@@ -107,7 +112,7 @@ func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
 				return nil, nil, false
 			}
 			t.enqueuePostFromRoute(n.id, r, path, o.dx)
-			m, err := t.fetch(r.right)
+			m, err := t.fetchSpan(r.right, o.sp)
 			if err != nil || !n.latch.Validate(v) {
 				if err == nil {
 					t.unpin(m)
@@ -131,7 +136,7 @@ func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
 			dd:    r.dd,
 		})
 		t.maybeEnqueueDeleteFromRoute(n.id, r, path, o.dx)
-		m, err := t.fetch(r.children[ci])
+		m, err := t.fetchSpan(r.children[ci], o.sp)
 		if err != nil || !n.latch.Validate(v) {
 			if err == nil {
 				t.unpin(m)
@@ -145,7 +150,9 @@ func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
 	}
 	// Target level: the only latch of the whole descent. Everything decided
 	// optimistically is re-verified under it.
+	lt0 := o.sp.Now()
 	n.latch.Acquire(latch.Shared)
+	o.sp.StageSince(obs.StageLatchS, 0, lt0)
 	if n.dead || !n.isLeaf() || t.cmp(o.key, n.c.Low) < 0 {
 		t.unlatchUnpin(n, latch.Shared, false)
 		return nil, nil, false
@@ -160,11 +167,11 @@ func (t *Tree) traverseOpt(o traverseOpts) (*node, []pathEntry, bool) {
 		t.enqueuePostFromSideMove(n, path, o.dx)
 		var m *node
 		if couple {
-			m, err = t.pinLatch(sib, latch.Shared)
+			m, err = t.pinLatchSpan(sib, latch.Shared, o.sp)
 			t.unlatchUnpin(n, latch.Shared, false)
 		} else {
 			t.unlatchUnpin(n, latch.Shared, false)
-			m, err = t.pinLatch(sib, latch.Shared)
+			m, err = t.pinLatchSpan(sib, latch.Shared, o.sp)
 		}
 		if err != nil || m.dead {
 			if err == nil {

@@ -70,6 +70,9 @@ func TestOptReadDisabled(t *testing.T) {
 // fails immediately, and the read falls back to the pessimistic traversal,
 // which blocks until the latch is released.
 func TestOptReadFallback(t *testing.T) {
+	if !obs.Compiled {
+		t.Skip("trace events compiled out (obsoff)")
+	}
 	tr := newTestTree(t, Options{Observability: &obs.Config{Trace: true}})
 	for i := 0; i < 2000; i++ {
 		if err := tr.Put(key(i), valb(i)); err != nil {
@@ -129,6 +132,9 @@ func TestOptReadFallback(t *testing.T) {
 // exhausts its restart bound. The error, counter and trace event must all
 // fire.
 func TestTraverseExhaustedCounter(t *testing.T) {
+	if !obs.Compiled {
+		t.Skip("trace events compiled out (obsoff)")
+	}
 	tr := newTestTree(t, Options{Observability: &obs.Config{Trace: true}})
 	if err := tr.Put(key(1), valb(1)); err != nil {
 		t.Fatal(err)

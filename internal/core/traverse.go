@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blinktree/internal/latch"
+	"blinktree/internal/obs"
 )
 
 // pathEntry remembers one node the traversal descended through. The
@@ -28,6 +29,9 @@ type traverseOpts struct {
 	// dx is the remembered D_X, read before accessing the tree (§4.2.1a);
 	// enqueued actions carry it.
 	dx uint64
+	// sp is the sampled operation's span (nil when unsampled): traversal
+	// phases, latch waits and buffer fetches are attributed to it.
+	sp *obs.Span
 }
 
 const maxTraverseRestarts = 10000
@@ -39,6 +43,11 @@ const maxTraverseRestarts = 10000
 // latch is held at a time (§3.1.1: coupling is only required because nodes
 // can be deleted).
 func (t *Tree) traverse(o traverseOpts) (*node, []pathEntry, error) {
+	// The traversal phase charges the span its wall time minus the nested
+	// fetch/latch stages, so routing work is attributed separately from
+	// waiting.
+	o.sp.EnterPhase(obs.StageTraverse)
+	defer o.sp.ExitPhase()
 	couple := !t.opts.NoDeleteSupport
 restart:
 	for attempt := 0; attempt < maxTraverseRestarts; attempt++ {
@@ -47,7 +56,7 @@ restart:
 			return nil, nil, fmt.Errorf("blinktree: requested level %d above root level %d", o.level, rootLevel)
 		}
 		mode := t.modeFor(rootLevel, o.level, o.intent)
-		n, err := t.pinLatch(rootID, mode)
+		n, err := t.pinLatchSpan(rootID, mode, o.sp)
 		if err != nil {
 			// The root was shrunk away between the anchor read and the
 			// fetch; retry from the new anchor.
@@ -74,11 +83,11 @@ restart:
 				t.enqueuePostFromSideMove(n, path, o.dx)
 				var m *node
 				if couple {
-					m, err = t.pinLatch(sib, mode)
+					m, err = t.pinLatchSpan(sib, mode, o.sp)
 					t.unlatchUnpin(n, mode, false)
 				} else {
 					t.unlatchUnpin(n, mode, false)
-					m, err = t.pinLatch(sib, mode)
+					m, err = t.pinLatchSpan(sib, mode, o.sp)
 				}
 				if err != nil || m.dead {
 					if err == nil {
@@ -92,7 +101,9 @@ restart:
 			}
 			if n.level() == o.level {
 				if o.promote && mode == latch.Update {
+					pt0 := o.sp.Now()
 					n.latch.Promote()
+					o.sp.StageSince(obs.StageLatchX, n.level(), pt0)
 				}
 				return n, path, nil
 			}
@@ -117,11 +128,11 @@ restart:
 
 			var m *node
 			if couple {
-				m, err = t.pinLatch(child, childMode)
+				m, err = t.pinLatchSpan(child, childMode, o.sp)
 				t.unlatchUnpin(n, mode, false)
 			} else {
 				t.unlatchUnpin(n, mode, false)
-				m, err = t.pinLatch(child, childMode)
+				m, err = t.pinLatchSpan(child, childMode, o.sp)
 			}
 			if err != nil || m.dead {
 				if err == nil {

@@ -171,6 +171,10 @@ func New(opts Options) (*Tree, error) {
 		if obs.ForceTrace {
 			cfg.Metrics = true
 			cfg.Trace = true
+			// Spans too, so the race-detector CI run exercises the span
+			// machinery on every tree (at the default sampling rate unless
+			// the test configured its own).
+			cfg.Spans = true
 		}
 		t.obs = obs.New(cfg)
 	}

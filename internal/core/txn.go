@@ -111,17 +111,21 @@ func (x *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	t := x.t
+	t0, sp := t.obsBegin(obs.OpCommit)
 	if t.log != nil {
+		at0 := sp.Now()
 		lsn, err := t.log.Append(&wal.Record{Type: wal.TCommit, Txn: x.id, PrevLSN: x.last()})
+		sp.StageSince(obs.StageWALAppend, 0, at0)
 		if err != nil {
 			return err
 		}
-		if err := t.log.Commit(lsn); err != nil {
+		if err := t.commitLSN(lsn, sp); err != nil {
 			return err
 		}
 	}
 	x.finish()
 	t.c.txnCommits.Add(1)
+	t.obsEnd(obs.OpCommit, t0, sp)
 	return nil
 }
 
@@ -264,7 +268,7 @@ func (x *Txn) record(op wal.Op, key, oldVal []byte, lsn wal.LSN) {
 // mode is the latch mode currently held on leaf (and re-acquired on the
 // re-latch path); promote applies after a re-latch for update intents.
 func (x *Txn) lockWithLatch(leaf *node, path []pathEntry, dx uint64, key []byte,
-	lmode lock.Mode, latchMode latch.Mode, promote bool) (*node, []pathEntry, error) {
+	lmode lock.Mode, latchMode latch.Mode, promote bool, sp *obs.Span) (*node, []pathEntry, error) {
 
 	t := x.t
 	err := t.locks.TryLock(x.owner(), lock.Resource(key), lmode)
@@ -282,7 +286,10 @@ func (x *Txn) lockWithLatch(leaf *node, path []pathEntry, dx uint64, key []byte,
 	}
 	t.unlatchUnpin(leaf, relMode, false)
 
-	if err := t.locks.Lock(x.owner(), lock.Resource(key), lmode); err != nil {
+	wt0 := sp.Now()
+	err = t.locks.Lock(x.owner(), lock.Resource(key), lmode)
+	sp.StageSince(obs.StageLockWait, 0, wt0)
+	if err != nil {
 		// Deadlock victim: roll back (the surrounding operation still
 		// holds the checkpoint gate).
 		t.c.txnDeadlocks.Add(1)
@@ -325,14 +332,14 @@ func (x *Txn) Get(key []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.c.searches.Add(1)
-	t0 := t.obsStart()
-	defer t.obsOp(obs.OpSearch, t0)
+	t0, sp := t.obsBegin(obs.OpSearch)
+	defer t.obsEnd(obs.OpSearch, t0, sp)
 	dx := t.dx.v.Load()
-	leaf, path, err := t.traverseRead(traverseOpts{key: key, intent: latch.Shared, dx: dx})
+	leaf, path, err := t.traverseRead(traverseOpts{key: key, intent: latch.Shared, dx: dx, sp: sp})
 	if err != nil {
 		return nil, err
 	}
-	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Shared, latch.Shared, false)
+	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Shared, latch.Shared, false, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -365,13 +372,13 @@ func (x *Txn) Put(key, val []byte) error {
 		return err
 	}
 	t.c.inserts.Add(1)
-	t0 := t.obsStart()
+	t0, sp := t.obsBegin(obs.OpInsert)
 	dx := t.dx.v.Load()
-	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx})
+	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx, sp: sp})
 	if err != nil {
 		return err
 	}
-	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Exclusive, latch.Update, true)
+	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Exclusive, latch.Update, true, sp)
 	if err != nil {
 		return err
 	}
@@ -382,15 +389,15 @@ func (x *Txn) Put(key, val []byte) error {
 		op = wal.OpUpdate
 		old = append([]byte(nil), leaf.c.Vals[pos]...)
 	}
-	lsn, updated, err := t.putOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last()}, key, val)
+	lsn, updated, err := t.putOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last(), sp: sp}, key, val)
 	if err != nil {
 		return err
 	}
 	if updated {
 		t.c.updates.Add(1)
-		t.obsOp(obs.OpUpdate, t0)
+		t.obsEnd(obs.OpUpdate, t0, sp)
 	} else {
-		t.obsOp(obs.OpInsert, t0)
+		t.obsEnd(obs.OpInsert, t0, sp)
 	}
 	x.record(op, key, old, lsn)
 	return nil
@@ -412,14 +419,14 @@ func (x *Txn) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.c.deletes.Add(1)
-	t0 := t.obsStart()
-	defer t.obsOp(obs.OpDelete, t0)
+	t0, sp := t.obsBegin(obs.OpDelete)
+	defer t.obsEnd(obs.OpDelete, t0, sp)
 	dx := t.dx.v.Load()
-	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx})
+	leaf, path, err := t.traverse(traverseOpts{key: key, intent: latch.Update, promote: true, dx: dx, sp: sp})
 	if err != nil {
 		return err
 	}
-	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Exclusive, latch.Update, true)
+	leaf, path, err = x.lockWithLatch(leaf, path, dx, key, lock.Exclusive, latch.Update, true, sp)
 	if err != nil {
 		return err
 	}
@@ -427,7 +434,7 @@ func (x *Txn) Delete(key []byte) error {
 	if pos, found := leaf.searchLeaf(t.cmp, key); found {
 		old = append([]byte(nil), leaf.c.Vals[pos]...)
 	}
-	lsn, err := t.deleteOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last()}, key)
+	lsn, err := t.deleteOnLeaf(leaf, path, dx, recOpParams{txn: x.id, prevLSN: x.last(), sp: sp}, key)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete events only), the
+// format Perfetto and about:tracing load natively. Timestamps and durations
+// are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container form.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace writes the spans as Chrome trace-event JSON. Each span
+// becomes its own track (tid = span sequence number): one complete event
+// covering the operation — its args carry the exclusive per-stage
+// aggregates, so the file round-trips through ReadChromeTrace — plus one
+// event per recorded interval nested inside it. The output loads directly
+// in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []OpTrace) error {
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, t := range spans {
+		stages := make(map[string]any, StageCount)
+		counts := make(map[string]any, StageCount)
+		for st := SpanStage(0); st < StageCount; st++ {
+			if t.Counts[st] == 0 && t.Stages[st] == 0 {
+				continue
+			}
+			stages[st.String()] = t.Stages[st].Nanoseconds()
+			counts[st.String()] = t.Counts[st]
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: t.Op.String(),
+			Cat:  "op",
+			Ph:   "X",
+			TS:   usec(t.Start),
+			Dur:  usec(t.Total),
+			PID:  1,
+			TID:  t.Seq,
+			Args: map[string]any{
+				"op":        t.Op.String(),
+				"seq":       t.Seq,
+				"total_ns":  t.Total.Nanoseconds(),
+				"restarts":  t.Restarts,
+				"fallback":  t.Fallback,
+				"slow":      t.Slow,
+				"sampled":   t.Sampled,
+				"dropped":   t.Dropped,
+				"stage_ns":  stages,
+				"stage_cnt": counts,
+			},
+		})
+		for _, iv := range t.Intervals {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: iv.Stage.String(),
+				Cat:  "stage",
+				Ph:   "X",
+				TS:   usec(t.Start + iv.Start),
+				Dur:  usec(iv.Dur),
+				PID:  1,
+				TID:  t.Seq,
+				Args: map[string]any{"level": iv.Level},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// ReadChromeTrace parses a Chrome trace-event JSON file written by
+// WriteChromeTrace back into OpTraces. Only the cat:"op" events are read —
+// they carry the exact per-stage aggregates in their args; the cat:"stage"
+// events are visualization detail. Both the object form ({"traceEvents":
+// [...]}) and the bare-array form are accepted.
+func ReadChromeTrace(r io.Reader) ([]OpTrace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		// Bare-array form.
+		if aerr := json.Unmarshal(data, &tr.TraceEvents); aerr != nil {
+			return nil, fmt.Errorf("chrome trace: %w", err)
+		}
+	}
+	var out []OpTrace
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat != "op" || ev.Ph != "X" {
+			continue
+		}
+		t := OpTrace{
+			Seq:   ev.TID,
+			Op:    opFromString(ev.Name),
+			Start: time.Duration(ev.TS * 1e3),
+			Total: time.Duration(ev.Dur * 1e3),
+		}
+		if t.Op >= OpCount {
+			continue
+		}
+		if n, ok := argFloat(ev.Args, "total_ns"); ok {
+			t.Total = time.Duration(int64(n))
+		}
+		if n, ok := argFloat(ev.Args, "restarts"); ok {
+			t.Restarts = uint32(n)
+		}
+		if n, ok := argFloat(ev.Args, "dropped"); ok {
+			t.Dropped = uint32(n)
+		}
+		t.Fallback, _ = ev.Args["fallback"].(bool)
+		t.Slow, _ = ev.Args["slow"].(bool)
+		t.Sampled, _ = ev.Args["sampled"].(bool)
+		if m, ok := ev.Args["stage_ns"].(map[string]any); ok {
+			for name, v := range m {
+				st := stageFromString(name)
+				if st >= StageCount {
+					continue
+				}
+				if n, ok := v.(float64); ok {
+					t.Stages[st] = time.Duration(int64(n))
+				}
+			}
+		}
+		if m, ok := ev.Args["stage_cnt"].(map[string]any); ok {
+			for name, v := range m {
+				st := stageFromString(name)
+				if st >= StageCount {
+					continue
+				}
+				if n, ok := v.(float64); ok {
+					t.Counts[st] = uint32(n)
+				}
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func argFloat(args map[string]any, key string) (float64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}

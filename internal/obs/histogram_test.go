@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("Mean on empty histogram = %v, want 0", s.Mean())
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * time.Nanosecond)
+	s := h.Snapshot()
+	want := bucketBound(bucketFor(300)) // the bucket's upper bound, 512ns
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %v, want %v", q, got, want)
+		}
+	}
+	if s.Count != 1 || s.Sum != 300 {
+		t.Errorf("count/sum = %d/%d, want 1/300", s.Count, s.Sum)
+	}
+}
+
+func TestQuantileAllMassInOverflowBucket(t *testing.T) {
+	var h Histogram
+	// Far beyond the largest finite bound (~4.3s): everything lands in the
+	// unbounded last bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Hour)
+	}
+	s := h.Snapshot()
+	if got := s.Buckets[HistBuckets-1]; got != 10 {
+		t.Fatalf("overflow bucket count = %d, want 10", got)
+	}
+	want := bucketBound(HistBuckets - 1) // largest finite bound
+	for _, q := range []float64{0.5, 0.999} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %v, want the largest finite bound %v", q, got, want)
+		}
+	}
+	// The quantile is clamped, but the sum is exact.
+	if s.Sum != uint64(10*time.Hour) {
+		t.Errorf("sum = %d, want %d", s.Sum, uint64(10*time.Hour))
+	}
+}
+
+func TestQuantileNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.Sum != 0 {
+		t.Errorf("negative observation: bucket0=%d sum=%d, want 1/0", s.Buckets[0], s.Sum)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines while others
+// take snapshots; run under -race this checks the lock-free protocol, and
+// the final snapshot must account for every observation exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// No cross-counter invariant holds mid-race (buckets and
+				// count are separate atomics), but each counter must be
+				// monotone across snapshots.
+				s := h.Snapshot()
+				if s.Count < last {
+					t.Errorf("count went backwards: %d -> %d", last, s.Count)
+					return
+				}
+				last = s.Count
+			}
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(seed*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	// Release the snapshotters once every writer's observation has landed,
+	// then wait for everything.
+	for h.count.Load() < writers*perG {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perG {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perG)
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}

@@ -36,6 +36,32 @@ type Config struct {
 	// above which a wait is counted as a long wait and, with Trace on,
 	// recorded as an EvLatchWait event. Default 1ms.
 	LatchWaitThreshold time.Duration
+
+	// Spans enables sampling-based per-operation span tracing: 1 in
+	// SampleEvery operations carries a span context through the hot path,
+	// recording timed stages (optimistic descent, latch waits, buffer
+	// fetches vs. misses, lock waits, WAL appends, group-commit park and
+	// force). Sampled spans feed the per-stage latency histograms, the
+	// sampled-span ring (Chrome trace export) and the slow-op flight
+	// recorder. Enabling Spans implies Metrics.
+	Spans bool
+
+	// SampleEvery is the span sampling rate: 1 in SampleEvery operations is
+	// traced (default 1024; 1 traces every operation).
+	SampleEvery int
+
+	// SlowOpThreshold is the operation latency at or above which an
+	// operation enters the slow-op flight recorder. Zero selects the
+	// adaptive default: the p999 of the merged operation histograms,
+	// floored at 1ms, recomputed as samples accumulate.
+	SlowOpThreshold time.Duration
+
+	// SpanCapacity bounds the sampled-span ring; once full the oldest spans
+	// are dropped. Default 512.
+	SpanCapacity int
+
+	// FlightCapacity bounds the slow-op flight recorder ring. Default 64.
+	FlightCapacity int
 }
 
 // withDefaults fills unset fields.
@@ -45,6 +71,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LatchWaitThreshold <= 0 {
 		c.LatchWaitThreshold = time.Millisecond
+	}
+	if c.Spans {
+		// Spans feed the per-stage histograms and the adaptive slow-op
+		// threshold, both of which live in the metrics section.
+		c.Metrics = true
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1024
+	}
+	if c.SpanCapacity <= 0 {
+		c.SpanCapacity = 512
+	}
+	if c.FlightCapacity <= 0 {
+		c.FlightCapacity = 64
 	}
 	return c
 }
@@ -59,6 +99,10 @@ const (
 	OpUpdate
 	OpDelete
 	OpScan
+	// OpCommit is a transaction commit: the commit record append plus the
+	// durability wait the configured mode imposes (sync force, or the
+	// group-commit park until the log-writer's coalesced force).
+	OpCommit
 	// OpCount is the number of operation classes.
 	OpCount
 )
@@ -76,9 +120,21 @@ func (o Op) String() string {
 		return "delete"
 	case OpScan:
 		return "scan"
+	case OpCommit:
+		return "commit"
 	default:
 		return "op?"
 	}
+}
+
+// opFromString is the inverse of Op.String, for span decode.
+func opFromString(s string) Op {
+	for o := OpSearch; o < OpCount; o++ {
+		if o.String() == s {
+			return o
+		}
+	}
+	return OpCount
 }
 
 // Action identifies a maintenance-action kind (mirrors the to-do queue's

@@ -64,6 +64,18 @@ type Registry struct {
 
 	longWaits atomic.Uint64 // latch waits >= cfg.LatchWaitThreshold
 
+	// Span sampling state: every sampleCtr hit on cfg.SampleEvery starts a
+	// span; finished spans feed spanStages, the sampled-span ring and —
+	// past slowNS — the slow-op flight recorder.
+	spanStages   [StageCount]Histogram
+	sampleCtr    atomic.Uint64
+	spanSeq      atomic.Uint64
+	spansSampled atomic.Uint64
+	slowOps      atomic.Uint64
+	slowNS       atomic.Int64
+	spanRing     opRing
+	flightRing   opRing
+
 	ring struct {
 		mu      sync.Mutex
 		buf     []Event
@@ -74,16 +86,62 @@ type Registry struct {
 	}
 }
 
+// opRing is a bounded, mutex-guarded, drop-oldest ring of finished spans.
+// Pushes happen only on sampled or slow operations, so contention is
+// negligible.
+type opRing struct {
+	mu   sync.Mutex
+	buf  []OpTrace
+	next int
+	full bool
+}
+
+func (g *opRing) push(t OpTrace) {
+	g.mu.Lock()
+	g.buf[g.next] = t
+	g.next++
+	if g.next == len(g.buf) {
+		g.next = 0
+		g.full = true
+	}
+	g.mu.Unlock()
+}
+
+func (g *opRing) snapshot() []OpTrace {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []OpTrace
+	if g.full {
+		out = make([]OpTrace, 0, len(g.buf))
+		out = append(out, g.buf[g.next:]...)
+		out = append(out, g.buf[:g.next]...)
+	} else {
+		out = append(out, g.buf[:g.next]...)
+	}
+	return out
+}
+
 // New builds a registry for cfg. Returns nil when cfg enables nothing, so
 // callers can keep the nil-pointer fast path.
 func New(cfg Config) *Registry {
-	if !cfg.Metrics && !cfg.Trace {
+	if !cfg.Metrics && !cfg.Trace && !cfg.Spans {
 		return nil
 	}
 	cfg = cfg.withDefaults()
 	r := &Registry{cfg: cfg, start: time.Now()}
 	if cfg.Trace {
 		r.ring.buf = make([]Event, cfg.TraceCapacity)
+	}
+	if cfg.Spans {
+		r.spanRing.buf = make([]OpTrace, cfg.SpanCapacity)
+		r.flightRing.buf = make([]OpTrace, cfg.FlightCapacity)
+		if cfg.SlowOpThreshold > 0 {
+			r.slowNS.Store(int64(cfg.SlowOpThreshold))
+		} else {
+			// Adaptive: start at the 1ms floor; SpanEnd re-derives the
+			// p999-based threshold as samples accumulate.
+			r.slowNS.Store(int64(time.Millisecond))
+		}
 	}
 	return r
 }
@@ -100,6 +158,138 @@ func (r *Registry) LatchWaitThreshold() time.Duration {
 		return 0
 	}
 	return r.cfg.LatchWaitThreshold
+}
+
+// SpansOn reports whether span sampling is enabled.
+func (r *Registry) SpansOn() bool { return r != nil && r.cfg.Spans }
+
+// SlowOpThresholdNS returns the current slow-op threshold in nanoseconds
+// (fixed from the config, or the adaptive p999-derived value).
+func (r *Registry) SlowOpThresholdNS() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.slowNS.Load()
+}
+
+// SpanStart returns a new span when this operation is selected by the
+// sampler, nil otherwise (and always nil when spans are off). The counter
+// is a single shared atomic: with SampleEvery=N, one in N operations
+// tree-wide is sampled regardless of which goroutine runs it.
+func (r *Registry) SpanStart(op Op) *Span {
+	if r == nil || !r.cfg.Spans {
+		return nil
+	}
+	if r.sampleCtr.Add(1)%uint64(r.cfg.SampleEvery) != 0 {
+		return nil
+	}
+	return &Span{op: op, start: time.Now()}
+}
+
+// SpanEnd finishes a sampled span: the uninstrumented remainder goes to
+// StageOther (so the stage sum equals d exactly), stage aggregates feed the
+// per-stage histograms, the trace enters the sampled-span ring, and — at or
+// above the slow-op threshold — the flight recorder.
+func (r *Registry) SpanEnd(sp *Span, op Op, d time.Duration) {
+	if r == nil || sp == nil {
+		return
+	}
+	sp.ExitPhase() // defensive: a panic path could leave a phase open
+	if d < 0 {
+		d = 0
+	}
+	var sum time.Duration
+	for st := SpanStage(0); st < StageOther; st++ {
+		sum += time.Duration(sp.stages[st])
+	}
+	if other := d - sum; other > 0 {
+		sp.stages[StageOther] = int64(other)
+		sp.counts[StageOther] = 1
+	}
+	t := OpTrace{
+		Seq:       r.spanSeq.Add(1),
+		Op:        op,
+		Start:     time.Since(r.start) - d,
+		Total:     d,
+		Restarts:  sp.restarts,
+		Fallback:  sp.fallback,
+		Sampled:   true,
+		Dropped:   sp.dropped,
+		Intervals: sp.intervals,
+	}
+	if t.Start < 0 {
+		t.Start = 0
+	}
+	for st := SpanStage(0); st < StageCount; st++ {
+		t.Stages[st] = time.Duration(sp.stages[st])
+		t.Counts[st] = sp.counts[st]
+		if sp.counts[st] > 0 {
+			r.spanStages[st].Observe(t.Stages[st])
+		}
+	}
+	n := r.spansSampled.Add(1)
+	if r.cfg.SlowOpThreshold <= 0 && n%64 == 0 {
+		r.retuneSlowThreshold()
+	}
+	if int64(d) >= r.slowNS.Load() {
+		t.Slow = true
+		r.slowOps.Add(1)
+		r.flightRing.push(t)
+	}
+	r.spanRing.push(t)
+}
+
+// SlowOp records an *unsampled* operation that met the slow-op threshold:
+// a stage-less stub (all time in StageOther) enters the flight recorder so
+// slow outliers are captured even between samples.
+func (r *Registry) SlowOp(op Op, d time.Duration) {
+	if r == nil || !r.cfg.Spans || int64(d) < r.slowNS.Load() {
+		return
+	}
+	r.slowOps.Add(1)
+	t := OpTrace{
+		Seq:   r.spanSeq.Add(1),
+		Op:    op,
+		Start: time.Since(r.start) - d,
+		Total: d,
+		Slow:  true,
+	}
+	if t.Start < 0 {
+		t.Start = 0
+	}
+	t.Stages[StageOther] = d
+	t.Counts[StageOther] = 1
+	r.flightRing.push(t)
+}
+
+// retuneSlowThreshold re-derives the adaptive slow-op threshold as the p999
+// of the merged per-operation histograms, floored at 1ms.
+func (r *Registry) retuneSlowThreshold() {
+	var merged HistogramSnapshot
+	for i := range r.ops {
+		merged = merged.Merge(r.ops[i].Snapshot())
+	}
+	thr := merged.Quantile(0.999)
+	if thr < time.Millisecond {
+		thr = time.Millisecond
+	}
+	r.slowNS.Store(int64(thr))
+}
+
+// Spans returns the sampled-span ring's contents, oldest first.
+func (r *Registry) Spans() []OpTrace {
+	if r == nil || !r.cfg.Spans {
+		return nil
+	}
+	return r.spanRing.snapshot()
+}
+
+// SlowSpans returns the slow-op flight recorder's contents, oldest first.
+func (r *Registry) SlowSpans() []OpTrace {
+	if r == nil || !r.cfg.Spans {
+		return nil
+	}
+	return r.flightRing.snapshot()
 }
 
 // ObserveOp records one foreground operation's latency.
@@ -270,6 +460,17 @@ type Snapshot struct {
 	// configured threshold.
 	LatchLongWaits uint64
 
+	// SpanStages holds one histogram per span stage: the exclusive time a
+	// sampled operation spent in that stage (one observation per sampled op
+	// that touched the stage).
+	SpanStages [StageCount]HistogramSnapshot
+	// SpansSampled counts finished sampled spans; SlowOps counts
+	// flight-recorder entries (sampled and stub); SlowOpThresholdNS is the
+	// current slow-op threshold.
+	SpansSampled      uint64
+	SlowOps           uint64
+	SlowOpThresholdNS int64
+
 	// TraceSeq is the total number of events emitted; TraceDropped how many
 	// the bounded ring overwrote.
 	TraceSeq     uint64
@@ -298,6 +499,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	s.GroupBatchSum = r.groupBatchSum.Load()
 	s.GroupBatchCount = r.groupBatchCount.Load()
 	s.GroupBatchMax = r.groupBatchMax.Load()
+	for i := range r.spanStages {
+		s.SpanStages[i] = r.spanStages[i].Snapshot()
+	}
+	s.SpansSampled = r.spansSampled.Load()
+	s.SlowOps = r.slowOps.Load()
+	s.SlowOpThresholdNS = r.slowNS.Load()
 	rg := &r.ring
 	rg.mu.Lock()
 	s.TraceSeq = rg.seq

@@ -147,6 +147,9 @@ type waiter struct {
 	lsn LSN
 	ch  chan error
 	t0  time.Time
+	// traced, when non-nil, receives the commit's park and force durations
+	// before the acknowledgement is sent (CommitTraced).
+	traced func(park, force time.Duration)
 }
 
 // pipeline is the Log's group-commit state. Guarded by Log.mu except where
@@ -224,11 +227,28 @@ func (l *Log) GroupStats() GroupStats {
 // A nil return in an ack-after-force mode guarantees lsn is durable; in the
 // other modes it only guarantees the record was appended.
 func (l *Log) Commit(lsn LSN) error {
+	return l.commit(lsn, nil)
+}
+
+// CommitTraced is Commit with span attribution: traced, when non-nil, is
+// called exactly once before the commit is acknowledged, with the time the
+// commit spent parked on the log-writer (enqueue to force start) and the
+// duration of the device force that covered it. DurSync reports the whole
+// synchronous flush as force time with zero park; the immediate-ack modes
+// (DurPeriodic, DurAsync) report both as zero. The callback runs on the
+// log-writer goroutine, but the acknowledgement channel orders it before
+// the caller resumes, so the caller may mutate its span from the callback
+// without further synchronization. Error paths may skip the callback.
+func (l *Log) CommitTraced(lsn LSN, traced func(park, force time.Duration)) error {
+	return l.commit(lsn, traced)
+}
+
+func (l *Log) commit(lsn LSN, traced func(park, force time.Duration)) error {
 	l.mu.Lock()
 	mode := l.p.cfg.Mode
 	switch {
 	case mode == DurGroup && l.p.running && !l.p.stopped:
-		w := waiter{lsn: lsn, ch: make(chan error, 1), t0: time.Now()}
+		w := waiter{lsn: lsn, ch: make(chan error, 1), t0: time.Now(), traced: traced}
 		l.p.pending = append(l.p.pending, w)
 		l.mu.Unlock()
 		l.nudge()
@@ -241,6 +261,9 @@ func (l *Log) Commit(lsn LSN) error {
 		if over && running {
 			l.nudge()
 		}
+		if traced != nil {
+			traced(0, 0)
+		}
 		return nil
 	case mode == DurAsync:
 		l.p.immediate.Add(1)
@@ -249,12 +272,20 @@ func (l *Log) Commit(lsn LSN) error {
 		if running {
 			l.nudge()
 		}
+		if traced != nil {
+			traced(0, 0)
+		}
 		return nil
 	default:
 		// DurSync, or a group pipeline that is not (or no longer) running:
 		// force on the calling goroutine, exactly the classic behavior.
 		l.mu.Unlock()
-		return l.Flush(lsn)
+		t0 := time.Now()
+		err := l.Flush(lsn)
+		if traced != nil {
+			traced(0, time.Since(t0))
+		}
+		return err
 	}
 }
 
@@ -331,13 +362,22 @@ func (l *Log) flushBatch(final bool) {
 			}
 		}
 	}
+	end := time.Now()
 	// Every waiter in the batch appended its record before parking, so a
-	// successful force covers all of them: ack after, never before.
+	// successful force covers all of them: ack after, never before. A traced
+	// callback runs before its waiter's ack so the channel send orders the
+	// span mutation ahead of the committing goroutine's resume.
 	for _, w := range batch {
+		if w.traced != nil {
+			park := t0.Sub(w.t0)
+			if park < 0 {
+				park = 0
+			}
+			w.traced(park, end.Sub(t0))
+		}
 		w.ch <- err
 	}
 	if gobs, ok := l.obs.(GroupObserver); ok && gobs != nil {
-		end := time.Now()
 		gobs.LogGroupForce(len(batch), end.Sub(t0))
 		for _, w := range batch {
 			gobs.LogGroupAck(end.Sub(w.t0))
