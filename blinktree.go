@@ -116,6 +116,19 @@ const (
 	ReadPathPessimistic = core.ReadPathPessimistic
 )
 
+// FeatureMode is a tri-state switch for optional engine features; see
+// Options.Combining and Options.AppendFastPath.
+type FeatureMode = core.FeatureMode
+
+const (
+	// FeatureDefault lets the tree choose (currently on for both features).
+	FeatureDefault = core.FeatureDefault
+	// FeatureOn enables the feature explicitly.
+	FeatureOn = core.FeatureOn
+	// FeatureOff disables the feature explicitly.
+	FeatureOff = core.FeatureOff
+)
+
 // Options configures a Tree. The zero value is a sensible volatile tree:
 // 4 KiB pages, 4096-node cache, background maintenance workers.
 type Options struct {
@@ -166,6 +179,30 @@ type Options struct {
 	// the default, 256 KiB): once more than this many appended log bytes
 	// await a force, the log-writer forces early.
 	FlushBytes int64
+
+	// Combining selects hot-leaf operation combining (default on). When a
+	// non-transactional write finds its target leaf contended, it publishes
+	// the operation into a per-leaf buffer instead of queueing on the latch;
+	// whichever writer holds the leaf exclusively drains the buffer, applying
+	// the whole batch under one latch acquisition and one write-ahead-log
+	// mutex hold, then wakes each publisher with its individual result.
+	Combining FeatureMode
+	// CombineBuffer is the per-leaf combining buffer capacity in operations
+	// (default 16). A full buffer makes the publisher fall back to the
+	// normal latched path.
+	CombineBuffer int
+	// CombineThreshold is the number of consecutive failed latch
+	// try-acquires on one leaf before writers start publishing into its
+	// combining buffer (default 4). Negative publishes unconditionally
+	// without trying the latch first — a deterministic mode used by the
+	// simulation harness, not a tuning choice.
+	CombineThreshold int
+	// AppendFastPath selects the right-edge append fast path (default on):
+	// the tree caches the rightmost leaf, and inserts of keys at or past its
+	// low fence try it directly — validated under the latch — instead of
+	// descending from the root. Monotonic (append-shaped) loads skip almost
+	// every traversal; other workloads walk away after one comparison.
+	AppendFastPath FeatureMode
 
 	// OptimisticReads selects the read-path traversal. The default is
 	// optimistic: Get, transactional reads and cursor positioning descend
@@ -228,6 +265,11 @@ func Open(opts Options) (*Tree, error) {
 		FlushInterval: opts.FlushInterval,
 		FlushBytes:    opts.FlushBytes,
 
+		Combining:        opts.Combining,
+		CombineBuffer:    opts.CombineBuffer,
+		CombineThreshold: opts.CombineThreshold,
+		AppendFastPath:   opts.AppendFastPath,
+
 		OptimisticReads: opts.OptimisticReads,
 	}
 	if opts.Workers < 0 {
@@ -235,6 +277,9 @@ func Open(opts Options) (*Tree, error) {
 	}
 	if opts.MaintenanceSoftCap < 0 {
 		cOpts.TodoSoftCap = core.TodoSoftCapNone
+	}
+	if opts.CombineThreshold < 0 {
+		cOpts.CombineThreshold = core.CombineAlways
 	}
 	cOpts.Observability = opts.Observability
 	switch opts.Baseline {

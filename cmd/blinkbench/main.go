@@ -21,6 +21,13 @@
 //	                                    # ... persist the trajectory and fail
 //	                                    #     unless group >= sync at the
 //	                                    #     highest writer count
+//	blinkbench -skew                    # skew scenario matrix (distribution x
+//	                                    #     goroutines x contention engine)
+//	blinkbench -skew -out BENCH_skew.json -skewfrac 0.25 -combratio 0.9
+//	                                    # ... persist the matrix and fail
+//	                                    #     unless zipf holds 25% of uniform
+//	                                    #     and combining-on holds 90% of
+//	                                    #     combining-off under zipf
 package main
 
 import (
@@ -61,8 +68,14 @@ func main() {
 		durability = flag.String("durability", "sync,group", "with -commit: comma-separated durability modes to measure")
 		writers    = flag.String("writers", "1,4,16", "with -commit: comma-separated concurrent committer counts")
 		commitOps  = flag.Int("commitops", 200, "with -commit: transactions per writer")
-		out        = flag.String("out", "", "with -commit: also write the JSON report to this file")
+		out        = flag.String("out", "", "with -commit or -skew: also write the JSON report to this file")
 		gate       = flag.Float64("gate", 0, "with -commit: exit nonzero unless group throughput >= gate * sync throughput at the highest writer count (0 disables)")
+
+		skew       = flag.Bool("skew", false, "run the skew scenario matrix instead of experiments")
+		skewThread = flag.String("skewthreads", "1,4,8,16", "with -skew: comma-separated goroutine counts")
+		skewOps    = flag.Int("skewops", 0, "with -skew: measured operations per cell (0 = default 20000)")
+		skewFrac   = flag.Float64("skewfrac", 0, "with -skew: exit nonzero unless zipf throughput >= skewfrac * uniform throughput at the highest goroutine count, contention engine on (0 disables)")
+		combRatio  = flag.Float64("combratio", 0, "with -skew: exit nonzero unless combining-on throughput >= combratio * combining-off under zipf at the highest goroutine count (0 disables)")
 	)
 	flag.Parse()
 
@@ -74,6 +87,14 @@ func main() {
 	if *commit {
 		if err := commitSweep(os.Stdout, *durability, *writers, *commitOps, *out, *gate); err != nil {
 			fmt.Fprintf(os.Stderr, "commit sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *skew {
+		if err := skewSweep(os.Stdout, *skewThread, *skewOps, *out, *skewFrac, *combRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "skew sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -209,6 +230,70 @@ func commitSweep(w io.Writer, modesCSV, writersCSV string, ops int, outPath stri
 			return err
 		}
 		fmt.Fprintf(w, "gate ok: %s\n", desc)
+	}
+	return nil
+}
+
+// skewSweep runs the skew scenario matrix, prints the cells as a table,
+// optionally persists the JSON report (BENCH_skew.json) and applies the
+// skew-vs-uniform and combining-on-vs-off throughput gates.
+func skewSweep(w io.Writer, threadsCSV string, ops int, outPath string, skewFrac, combRatio float64) error {
+	var cfg bench.SkewConfig
+	cfg.Ops = ops
+	for _, s := range strings.Split(threadsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -skewthreads entry %q", s)
+		}
+		cfg.Goroutines = append(cfg.Goroutines, n)
+	}
+
+	rep, err := bench.RunSkew(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== skew matrix: %d keys, %d preloaded, %d ops/cell, zipf s=%.2f ==\n",
+		rep.KeySpace, rep.Preload, rep.Ops, rep.ZipfS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dist\tgoroutines\tcombining\tops/s\tpublishes\tbatches\tfastpath hits\tlatch waits")
+	for _, r := range rep.Results {
+		comb := "off"
+		if r.Combining {
+			comb = "on"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f\t%d\t%d\t%d\t%d\n",
+			r.Dist, r.Goroutines, comb, r.OpsPerSec,
+			r.CombinePublishes, r.CombineBatches, r.AppendFastHits, r.LatchWaits)
+	}
+	tw.Flush()
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	if skewFrac > 0 {
+		desc, err := rep.GateSkewVsUniform(skewFrac)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "skew gate ok: %s\n", desc)
+	}
+	if combRatio > 0 {
+		desc, err := rep.GateCombining(combRatio)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "combining gate ok: %s\n", desc)
 	}
 	return nil
 }

@@ -103,9 +103,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer dev.Close()
+		// A dump never writes: keep the contention engine (combining,
+		// append fast path) out of the mount entirely.
 		tr, err := core.New(core.Options{
 			PageSize: *pageSize, Store: store, LogDevice: dev,
-			Workers: core.WorkersNone,
+			Workers:   core.WorkersNone,
+			Combining: core.FeatureOff, AppendFastPath: core.FeatureOff,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blinkdump: recover: %v\n", err)

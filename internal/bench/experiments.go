@@ -746,6 +746,44 @@ func E13CrashConsistency(scale Scale) (*Table, error) {
 	return t, nil
 }
 
+// E14SkewTolerance runs the skew scenario matrix (skew.go): every key
+// distribution at every goroutine count, contention engine (hot-leaf
+// combining + right-edge append fast path) on and off. The table shows
+// whether skewed load collapses throughput relative to uniform and whether
+// the engine pays for itself where it should (zipf/hotspot: combining
+// batches; seq-append: fast-path hits).
+func E14SkewTolerance(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "skew tolerance: distribution x goroutines x contention engine",
+		Header: []string{"dist", "threads", "combining", "ops/s",
+			"publishes", "drained", "batches", "fastpath hits", "latch waits"},
+	}
+	cfg := SkewConfig{
+		KeySpace: scale.Preload * 2,
+		Preload:  scale.Preload,
+		Ops:      scale.Ops,
+	}
+	if len(scale.Threads) > 0 {
+		cfg.Goroutines = scale.Threads
+	}
+	rep, err := RunSkew(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E14: %w", err)
+	}
+	for _, res := range rep.Results {
+		on := "off"
+		if res.Combining {
+			on = "on"
+		}
+		t.AddRow(res.Dist, res.Goroutines, on, int(res.OpsPerSec),
+			res.CombinePublishes, res.CombineDrained, res.CombineBatches,
+			res.AppendFastHits, res.LatchWaits)
+	}
+	t.Note("combining counters are zero with the engine off; seq-append rows show the append fast path")
+	return t, nil
+}
+
 // Experiments maps experiment IDs to their implementations.
 var Experiments = map[string]func(Scale) (*Table, error){
 	"E1":  E1Throughput,
@@ -761,7 +799,8 @@ var Experiments = map[string]func(Scale) (*Table, error){
 	"E11": E11Scheduler,
 	"E12": E12ReadPath,
 	"E13": E13CrashConsistency,
+	"E14": E14SkewTolerance,
 }
 
 // ExperimentIDs lists experiment IDs in order.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}

@@ -36,6 +36,9 @@ func TestMixString(t *testing.T) {
 	if Uniform.String() != "uniform" || Zipf.String() != "zipf" || Sequential.String() != "sequential" {
 		t.Fatal("Dist.String broken")
 	}
+	if Hotspot.String() != "hotspot" || MovingHotspot.String() != "moving-hotspot" || SeqAppend.String() != "seq-append" {
+		t.Fatal("skew Dist.String broken")
+	}
 	if Dist(9).String() != "dist?" {
 		t.Fatal("unknown Dist.String broken")
 	}
@@ -63,6 +66,59 @@ func TestGenDistributions(t *testing.T) {
 				t.Fatalf("zipf not skewed: seen[0] = %d", seen[0])
 			}
 		}
+	}
+}
+
+func TestGenHotspot(t *testing.T) {
+	g := NewGen(Spec{KeySpace: 1000, Dist: Hotspot, HotKeys: 10, HotFrac: 0.9, Mix: Mix{Insert: 100}}, 3)
+	hot := 0
+	for i := 0; i < 5000; i++ {
+		k := g.NextKey()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("hotspot key %d out of range", k)
+		}
+		if k < 10 {
+			hot++
+		}
+	}
+	// ~90% of draws must land in the 1% hot set (plus ~1% uniform spill).
+	if hot < 4200 {
+		t.Fatalf("hot-set mass %d/5000, want >= 4200", hot)
+	}
+}
+
+func TestGenMovingHotspot(t *testing.T) {
+	g := NewGen(Spec{
+		KeySpace: 1000, Dist: MovingHotspot,
+		HotKeys: 10, HotFrac: 1.0, MovePeriod: 100,
+		Mix: Mix{Insert: 100},
+	}, 4)
+	// First window: draws 1..100 land in [0,10).
+	for i := 0; i < 100; i++ {
+		if k := g.NextKey(); k >= 10 {
+			t.Fatalf("draw %d: key %d outside first window", i, k)
+		}
+	}
+	// Second window: the hot set has drifted to [10,20).
+	for i := 0; i < 100; i++ {
+		if k := g.NextKey(); k < 10 || k >= 20 {
+			t.Fatalf("draw %d: key %d outside drifted window", i, k)
+		}
+	}
+}
+
+func TestGenSeqAppend(t *testing.T) {
+	g := NewGen(Spec{KeySpace: 100, Dist: SeqAppend, SeqOffset: 1, SeqStride: 4, Mix: Mix{Insert: 100}}, 5)
+	prev := -1
+	for i := 0; i < 500; i++ {
+		k := g.NextKey()
+		if k != 100+1+i*4 {
+			t.Fatalf("draw %d: key %d, want %d", i, k, 100+1+i*4)
+		}
+		if k <= prev {
+			t.Fatalf("draw %d: key %d not strictly increasing past %d", i, k, prev)
+		}
+		prev = k
 	}
 }
 
@@ -357,8 +413,67 @@ func TestE13CrashConsistencyShape(t *testing.T) {
 	}
 }
 
+func TestE14SkewToleranceShape(t *testing.T) {
+	small := Scale{Preload: 1000, Ops: 2000, Threads: []int{2}}
+	tb, err := E14SkewTolerance(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderToTestLog(t, tb)
+	// 5 distributions x 1 thread count x combining on/off.
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if cellFloat(t, row[3]) <= 0 {
+			t.Fatalf("row %d: non-positive throughput", i)
+		}
+		if row[2] == "off" && cellFloat(t, row[4]) != 0 {
+			t.Fatalf("row %d: combining-off run published %v ops", i, row[4])
+		}
+	}
+}
+
+func TestSkewReportGatesAndJSON(t *testing.T) {
+	rep, err := RunSkew(SkewConfig{
+		Dists:      []Dist{Uniform, Zipf, SeqAppend},
+		Goroutines: []int{1, 2},
+		KeySpace:   2000, Preload: 1000, Ops: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Results); got != 12 {
+		t.Fatalf("cells = %d, want 12", got)
+	}
+	if g := rep.MaxGoroutines(); g != 2 {
+		t.Fatalf("MaxGoroutines = %d", g)
+	}
+	if _, ok := rep.Lookup("seq-append", 2, true); !ok {
+		t.Fatal("seq-append cell missing")
+	}
+	// The gates must at least evaluate at a trivially permissive bound.
+	if desc, err := rep.GateSkewVsUniform(0.01); err != nil {
+		t.Fatalf("skew gate at 0.01: %v (%s)", err, desc)
+	}
+	if desc, err := rep.GateCombining(0.01); err != nil {
+		t.Fatalf("combining gate at 0.01: %v (%s)", err, desc)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSkewReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.KeySpace != rep.KeySpace {
+		t.Fatal("JSON round trip mismatch")
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 13 {
+	if len(ExperimentIDs) != 14 {
 		t.Fatalf("%d experiment IDs", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {

@@ -97,11 +97,20 @@ func Run(cfg Config, spec Spec, goroutines int) (Result, error) {
 	perG := spec.Ops / goroutines
 	start := time.Now()
 	for g := 0; g < goroutines; g++ {
+		// Each worker gets its own Gen (a Gen is not goroutine-safe) with a
+		// seed derived from the spec's base, so runs stay reproducible while
+		// workers draw independent streams. SeqAppend workers interleave by
+		// stride so the merged key sequence is strictly increasing overall.
+		wspec := spec
+		if spec.Dist == SeqAppend {
+			wspec.SeqOffset = spec.SeqOffset + g*spec.SeqStride
+			wspec.SeqStride = spec.SeqStride * goroutines
+		}
 		wg.Add(1)
-		go func(seed int64) {
+		go func(wspec Spec, seed int64) {
 			defer wg.Done()
-			errCh <- Worker(tr, spec, seed, perG)
-		}(int64(g) + 1)
+			errCh <- Worker(tr, wspec, seed, perG)
+		}(wspec, spec.Seed+int64(g)+1)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

@@ -64,6 +64,18 @@ const (
 	Zipf
 	// Sequential walks the key space in order (purge patterns).
 	Sequential
+	// Hotspot sends HotFrac of the draws to a fixed hot set of HotKeys
+	// contiguous keys at the bottom of the key space, the rest uniformly
+	// over the whole space — a sharper contention shape than Zipf.
+	Hotspot
+	// MovingHotspot is Hotspot with a drifting hot set: every MovePeriod
+	// draws the hot window shifts right by its own width (wrapping), so
+	// cached right answers go stale (hot leaves cool, new ones heat up).
+	MovingHotspot
+	// SeqAppend emits strictly increasing key indexes past the preloaded
+	// key space (SeqOffset + n*SeqStride), modelling a log-tail /
+	// time-ordered-ID append load that always lands on the rightmost leaf.
+	SeqAppend
 )
 
 func (d Dist) String() string {
@@ -74,6 +86,12 @@ func (d Dist) String() string {
 		return "zipf"
 	case Sequential:
 		return "sequential"
+	case Hotspot:
+		return "hotspot"
+	case MovingHotspot:
+		return "moving-hotspot"
+	case SeqAppend:
+		return "seq-append"
 	default:
 		return "dist?"
 	}
@@ -92,6 +110,23 @@ type Spec struct {
 	// Dist is the key distribution; ZipfS is the skew (>1; default 1.2).
 	Dist  Dist
 	ZipfS float64
+	// HotFrac is the fraction of Hotspot/MovingHotspot draws that hit the
+	// hot set (default 0.9); HotKeys is the hot-set size in keys (default
+	// KeySpace/100, minimum 1).
+	HotFrac float64
+	HotKeys int
+	// MovePeriod is the number of draws between MovingHotspot window shifts
+	// (default 1000).
+	MovePeriod int
+	// SeqStride and SeqOffset shape SeqAppend: the n'th draw is key index
+	// KeySpace + SeqOffset + n*SeqStride (stride default 1). The runner
+	// gives each worker offset=workerID, stride=goroutines so concurrent
+	// workers interleave distinct, globally increasing keys.
+	SeqStride int
+	SeqOffset int
+	// Seed is the base RNG seed; worker g derives its own as Seed+g+1, so
+	// runs are reproducible yet workers draw independent streams.
+	Seed int64
 	// ValueSize is the record value length (default 24).
 	ValueSize int
 	// ScanLen is the number of records per OpScan (default 20).
@@ -111,6 +146,21 @@ func (s Spec) withDefaults() Spec {
 	if s.ZipfS == 0 {
 		s.ZipfS = 1.2
 	}
+	if s.HotFrac == 0 {
+		s.HotFrac = 0.9
+	}
+	if s.HotKeys == 0 {
+		s.HotKeys = s.KeySpace / 100
+		if s.HotKeys < 1 {
+			s.HotKeys = 1
+		}
+	}
+	if s.MovePeriod == 0 {
+		s.MovePeriod = 1000
+	}
+	if s.SeqStride == 0 {
+		s.SeqStride = 1
+	}
 	return s
 }
 
@@ -125,12 +175,19 @@ type Op struct {
 }
 
 // Gen is a per-goroutine deterministic operation generator.
+//
+// A Gen is NOT safe for concurrent use: NextKey and Next mutate the
+// generator's RNG and sequence state without synchronization. Give each
+// worker goroutine its own Gen with a derived seed (the runner uses
+// Spec.Seed + workerID + 1); sharing one Gen across goroutines both races
+// and destroys reproducibility.
 type Gen struct {
-	spec Spec
-	rng  *rand.Rand
-	zipf *rand.Zipf
-	seq  int
-	val  []byte
+	spec  Spec
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	seq   int
+	draws int
+	val   []byte
 }
 
 // NewGen returns a generator for spec with the given seed.
@@ -152,11 +209,28 @@ func NewGen(spec Spec, seed int64) *Gen {
 
 // NextKey draws a key index from the distribution.
 func (g *Gen) NextKey() int {
+	g.draws++
 	switch g.spec.Dist {
 	case Zipf:
 		return int(g.zipf.Uint64())
 	case Sequential:
 		k := g.seq % g.spec.KeySpace
+		g.seq++
+		return k
+	case Hotspot:
+		if g.rng.Float64() < g.spec.HotFrac {
+			return g.rng.Intn(g.spec.HotKeys)
+		}
+		return g.rng.Intn(g.spec.KeySpace)
+	case MovingHotspot:
+		if g.rng.Float64() < g.spec.HotFrac {
+			window := (g.draws - 1) / g.spec.MovePeriod
+			start := (window * g.spec.HotKeys) % g.spec.KeySpace
+			return (start + g.rng.Intn(g.spec.HotKeys)) % g.spec.KeySpace
+		}
+		return g.rng.Intn(g.spec.KeySpace)
+	case SeqAppend:
+		k := g.spec.KeySpace + g.spec.SeqOffset + g.seq*g.spec.SeqStride
 		g.seq++
 		return k
 	default:

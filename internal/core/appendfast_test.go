@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blinktree/internal/wal"
+)
+
+// TestAppendFastPathMonotonic loads strictly increasing keys and requires
+// the right-edge fast path to serve the bulk of them, with contents and
+// invariants intact. A scattering of non-append keys must fall back cleanly.
+func TestAppendFastPathMonotonic(t *testing.T) {
+	tr, err := New(Options{
+		PageSize:       1024,
+		Workers:        WorkersNone,
+		LogDevice:      wal.NewMemDevice(),
+		Combining:      FeatureOff,
+		AppendFastPath: FeatureOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("seq%08d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		// Every 50th insert lands below the right edge and must traverse.
+		if i%50 == 0 {
+			if err := tr.Put([]byte(fmt.Sprintf("aaa%08d", i)), []byte("w")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := tr.Stats()
+	if s.AppendFastHits < n/2 {
+		t.Fatalf("append fast path hits %d of %d monotonic inserts", s.AppendFastHits, n)
+	}
+	tr.DrainTodo()
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n+n/50 {
+		t.Fatalf("record count %d, want %d", len(recs), n+n/50)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(recs[fmt.Sprintf("seq%08d", i)], []byte("v")) {
+			t.Fatalf("missing or wrong record seq%08d", i)
+		}
+	}
+}
+
+// TestAppendFastPathConcurrent interleaves monotonic appenders with random
+// writers and deleters under -race: the hint may go stale at any moment
+// (splits move the right edge, consolidations kill leaves) and every miss
+// must fall back without losing an operation.
+func TestAppendFastPathConcurrent(t *testing.T) {
+	tr, err := New(Options{
+		PageSize:       1024,
+		Workers:        2,
+		MinFill:        0.35,
+		LogDevice:      wal.NewMemDevice(),
+		AppendFastPath: FeatureOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const goroutines = 6
+	const perG = 500
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var err error
+				if g%2 == 0 {
+					// Appenders: per-goroutine increasing tails.
+					err = tr.Put([]byte(fmt.Sprintf("tail%06d-%02d", i, g)), []byte("a"))
+				} else {
+					// Churners: scattered writes and deletes.
+					k := []byte(fmt.Sprintf("mid%02d-%06d", g, (i*7)%200))
+					if i%3 == 2 {
+						if derr := tr.Delete(k); derr != nil && derr != ErrKeyNotFound {
+							err = derr
+						}
+					} else {
+						err = tr.Put(k, []byte("b"))
+					}
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("g%d op %d: %w", g, i, err)
+					return
+				}
+			}
+			errCh <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.DrainTodo()
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Every appended tail key must be present exactly as written.
+	for g := 0; g < goroutines; g += 2 {
+		for i := 0; i < perG; i += 97 {
+			if _, err := tr.Get([]byte(fmt.Sprintf("tail%06d-%02d", i, g))); err != nil {
+				t.Fatalf("tail%06d-%02d lost: %v", i, g, err)
+			}
+		}
+	}
+}

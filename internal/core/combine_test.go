@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blinktree/internal/wal"
+)
+
+// combineTree opens a volatile logged tree with the given combining mode.
+func combineTree(t *testing.T, combining FeatureMode, threshold int) *Tree {
+	t.Helper()
+	tr, err := New(Options{
+		PageSize:         1024,
+		Workers:          WorkersNone,
+		LogDevice:        wal.NewMemDevice(),
+		Combining:        combining,
+		CombineThreshold: threshold,
+		AppendFastPath:   FeatureOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// TestCombineSingleThreadEquivalence drives an identical operation sequence
+// through a CombineAlways tree (every eligible op publishes and
+// self-drains) and a combining-off tree, and requires identical per-op
+// results and identical final contents. This pins the drain's apply logic
+// (insert/update/delete, fit checks, WAL batching) to the normal path's
+// semantics without any scheduling nondeterminism.
+func TestCombineSingleThreadEquivalence(t *testing.T) {
+	on := combineTree(t, FeatureOn, CombineAlways)
+	off := combineTree(t, FeatureOff, 0)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%05d", i)) }
+	val := func(i, rev int) []byte { return []byte(fmt.Sprintf("v%05d-%d", i, rev)) }
+
+	type step struct {
+		op  string
+		i   int
+		rev int
+	}
+	var steps []step
+	for i := 0; i < 400; i++ {
+		steps = append(steps, step{"put", i % 120, 0})
+		if i%3 == 0 {
+			steps = append(steps, step{"put", i % 120, 1}) // update in place
+		}
+		if i%5 == 0 {
+			steps = append(steps, step{"del", (i + 7) % 120, 0})
+		}
+		if i%11 == 0 {
+			steps = append(steps, step{"del", 10_000 + i, 0}) // absent key
+		}
+	}
+	for n, s := range steps {
+		var errOn, errOff error
+		switch s.op {
+		case "put":
+			errOn = on.Put(key(s.i), val(s.i, s.rev))
+			errOff = off.Put(key(s.i), val(s.i, s.rev))
+		case "del":
+			errOn = on.Delete(key(s.i))
+			errOff = off.Delete(key(s.i))
+		}
+		if !errors.Is(errOn, errOff) && (errOn != nil || errOff != nil) {
+			t.Fatalf("step %d (%s %d): combining err %v, plain err %v", n, s.op, s.i, errOn, errOff)
+		}
+	}
+	if on.Stats().CombinePublishes == 0 {
+		t.Fatal("CombineAlways run never published")
+	}
+	gotOn, err := on.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOff, err := off.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotOn) != len(gotOff) {
+		t.Fatalf("record counts differ: combining %d, plain %d", len(gotOn), len(gotOff))
+	}
+	for k, v := range gotOff {
+		if !bytes.Equal(gotOn[k], v) {
+			t.Fatalf("mismatch at %q: combining %q, plain %q", k, gotOn[k], v)
+		}
+	}
+	if err := on.Verify(); err != nil {
+		t.Fatalf("combining tree invariants: %v", err)
+	}
+}
+
+// TestCombineConcurrentDisjointKeys has goroutines mutate disjoint keys that
+// share leaves, with combining forced to publish eagerly (threshold 1). The
+// final state is interleaving-independent, so it must exactly equal the
+// expected map, and every individual result (update flags via counters,
+// delete-absent errors) must come back correct through the combining
+// hand-off. Run under -race this also checks the publisher/drainer memory
+// ordering.
+func TestCombineConcurrentDisjointKeys(t *testing.T) {
+	tr := combineTree(t, FeatureOn, 1)
+	const goroutines = 8
+	const perG = 300
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := []byte(fmt.Sprintf("g%02d-%06d", g, i%40))
+				v := []byte(fmt.Sprintf("val-%02d-%06d", g, i))
+				if err := tr.Put(k, v); err != nil {
+					errCh <- fmt.Errorf("g%d put %d: %w", g, i, err)
+					return
+				}
+				if i%4 == 3 {
+					if err := tr.Delete(k); err != nil {
+						errCh <- fmt.Errorf("g%d del %d: %w", g, i, err)
+						return
+					}
+				}
+				// Deleting another goroutine's never-inserted key must
+				// surface ErrKeyNotFound through the combining hand-off.
+				if i%17 == 0 {
+					absent := []byte(fmt.Sprintf("zz-absent-%02d-%06d", g, i))
+					if err := tr.Delete(absent); !errors.Is(err, ErrKeyNotFound) {
+						errCh <- fmt.Errorf("g%d absent delete: %v", g, err)
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]string{}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			k := fmt.Sprintf("g%02d-%06d", g, i%40)
+			want[k] = fmt.Sprintf("val-%02d-%06d", g, i)
+			if i%4 == 3 {
+				delete(want, k)
+			}
+		}
+	}
+	got, err := tr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("record count %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if string(got[k]) != v {
+			t.Fatalf("mismatch at %q: got %q, want %q", k, got[k], v)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.CombineDrained+s.CombineRetries > s.CombinePublishes {
+		t.Fatalf("combining accounting: drained %d + retries %d > publishes %d",
+			s.CombineDrained, s.CombineRetries, s.CombinePublishes)
+	}
+}
+
+// TestCombineHotKeyStress hammers one hot key (plus a split-forcing filler
+// stream) from many goroutines with combining on, then verifies invariants.
+// The point is adversarial scheduling around drains racing splits and
+// consolidations — retry verdicts must re-execute, never drop or duplicate
+// an operation. The final hot-key value must be one of the values actually
+// written.
+func TestCombineHotKeyStress(t *testing.T) {
+	tr := combineTree(t, FeatureOn, 1)
+	hot := []byte("hot-key")
+	const goroutines = 8
+	const perG = 400
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 4 {
+				case 0, 1:
+					if err := tr.Put(hot, []byte(fmt.Sprintf("h%02d-%06d", g, i))); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					if err := tr.Delete(hot); err != nil && !errors.Is(err, ErrKeyNotFound) {
+						errCh <- err
+						return
+					}
+				case 3:
+					// Filler keys force splits of the hot leaf while the
+					// combiner is active.
+					k := []byte(fmt.Sprintf("hos-%02d-%06d", g, i))
+					if err := tr.Put(k, bytes.Repeat([]byte{'x'}, 64)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if i%16 == 0 {
+					if _, err := tr.Get(hot); err != nil && !errors.Is(err, ErrKeyNotFound) {
+						errCh <- err
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.DrainTodo()
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tr.Get(hot); err == nil {
+		if !bytes.HasPrefix(v, []byte("h")) {
+			t.Fatalf("hot key holds foreign value %q", v)
+		}
+	} else if !errors.Is(err, ErrKeyNotFound) {
+		t.Fatal(err)
+	}
+}

@@ -103,8 +103,22 @@ func (t *Tree) Delete(key []byte) error {
 
 // putInternal traverses to the covering leaf and upserts. The bool result
 // reports whether an existing record was replaced (an update) rather than a
-// new one inserted.
+// new one inserted. Non-transactional upserts first try the right-edge
+// append fast path (appendfast.go) and then the combining layer
+// (combine.go); both fall through here when they decline.
 func (t *Tree) putInternal(lp recOpParams, key, val []byte) (wal.LSN, bool, error) {
+	if lp.txn == 0 && !lp.clr {
+		if t.appendFast {
+			if lsn, updated, done, err := t.appendFastPut(lp, key, val); done {
+				return lsn, updated, err
+			}
+		}
+		if t.combining {
+			if lsn, updated, done, err := t.combinePut(lp, key, val); done {
+				return lsn, updated, err
+			}
+		}
+	}
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{
 		key: key, intent: latch.Update, promote: true, dx: dx, sp: lp.sp,
@@ -127,6 +141,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 				old := leaf.c.Vals[pos]
 				leaf.c.Vals[pos] = append([]byte(nil), val...)
 				lsn, err := t.logRecOp(leaf, lp, wal.OpUpdate, key, val, old)
+				t.noteRightEdge(leaf)
 				t.unlatchUnpin(leaf, latch.Exclusive, true)
 				return lsn, true, err
 			}
@@ -135,6 +150,7 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 			if leaf.size()+need <= t.opts.PageSize {
 				leaf.insertLeafAt(pos, key, val)
 				lsn, err := t.logRecOp(leaf, lp, wal.OpInsert, key, val, nil)
+				t.noteRightEdge(leaf)
 				t.unlatchUnpin(leaf, latch.Exclusive, true)
 				return lsn, false, err
 			}
@@ -176,7 +192,13 @@ func (t *Tree) putOnLeaf(leaf *node, path []pathEntry, dx uint64, lp recOpParams
 }
 
 // deleteInternal traverses to the covering leaf and removes key.
+// Non-transactional deletes first try the combining layer (combine.go).
 func (t *Tree) deleteInternal(lp recOpParams, key []byte) (wal.LSN, error) {
+	if lp.txn == 0 && !lp.clr && t.combining {
+		if lsn, done, err := t.combineDelete(lp, key); done {
+			return lsn, err
+		}
+	}
 	dx := t.dx.v.Load()
 	leaf, path, err := t.traverse(traverseOpts{
 		key: key, intent: latch.Update, promote: true, dx: dx, sp: lp.sp,

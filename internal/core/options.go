@@ -41,6 +41,19 @@ const (
 	ReadPathPessimistic
 )
 
+// FeatureMode is a tri-state switch for optional engine features whose
+// resolved default is on: the zero value lets the tree choose.
+type FeatureMode uint8
+
+const (
+	// FeatureDefault lets the tree choose (currently on).
+	FeatureDefault FeatureMode = iota
+	// FeatureOn enables the feature explicitly.
+	FeatureOn
+	// FeatureOff disables the feature.
+	FeatureOff
+)
+
 // Compare orders keys like bytes.Compare: negative when a < b, zero when
 // equal, positive when a > b. A custom comparator must order the empty key
 // below every non-empty key (it is the tree's -infinity sentinel), and two
@@ -156,6 +169,37 @@ type Options struct {
 	// everywhere (comparators and debugging).
 	OptimisticReads ReadPath
 
+	// Combining enables the hot-leaf operation-combining engine (default
+	// on): a non-transactional writer that finds a leaf's latch contended
+	// publishes its operation into the leaf's combining buffer, and the
+	// latch winner applies the whole batch under one exclusive latch
+	// acquisition and one WAL append group, handing each parked publisher
+	// its individual result. Transactional operations never combine (they
+	// must interleave with record locking and the re-latch procedure).
+	Combining FeatureMode
+
+	// CombineBuffer is the per-leaf combining buffer capacity in pending
+	// operations (default 16). A full buffer sends the writer down the
+	// normal latched path.
+	CombineBuffer int
+
+	// CombineThreshold is the number of contended latch encounters
+	// (failed try-acquires) a leaf must accumulate before writers start
+	// publishing into its combining buffer (default 4). CombineAlways
+	// publishes unconditionally, without even attempting the latch —
+	// deterministic tests and the crash harness use it to force every
+	// operation through the combine/drain machinery.
+	CombineThreshold int
+
+	// AppendFastPath enables the right-edge append fast path (default on):
+	// the rightmost leaf is cached, and an insert of a key at or beyond its
+	// low fence tries that leaf directly — a version-word pre-check, then
+	// an authoritative re-validation under its latch — skipping the full
+	// root-to-leaf descent that monotonic (sequential-append) workloads
+	// would otherwise pay on every insert. Any validation failure falls
+	// back to the normal traversal.
+	AppendFastPath FeatureMode
+
 	// Observability enables per-operation latency histograms and/or the
 	// SMO lifecycle trace ring (see obs.Config). Nil disables both: the
 	// instrumentation collapses to a nil-pointer check on the hot paths.
@@ -191,6 +235,18 @@ func (o Options) withDefaults() Options {
 	if o.OptimisticReads == ReadPathDefault {
 		o.OptimisticReads = ReadPathOptimistic
 	}
+	if o.Combining == FeatureDefault {
+		o.Combining = FeatureOn
+	}
+	if o.AppendFastPath == FeatureDefault {
+		o.AppendFastPath = FeatureOn
+	}
+	if o.CombineBuffer <= 0 {
+		o.CombineBuffer = 16
+	}
+	if o.CombineThreshold == 0 {
+		o.CombineThreshold = 4
+	}
 	if o.Store == nil {
 		o.Store = storage.NewMemStore(o.PageSize)
 	}
@@ -206,3 +262,8 @@ const WorkersNone = -1
 
 // TodoSoftCapNone disables scheduler backpressure (inline assists).
 const TodoSoftCapNone = -1
+
+// CombineAlways, as a CombineThreshold, makes every eligible write publish
+// into the combining buffer unconditionally (no contention required); used
+// by deterministic tests and the crash harness.
+const CombineAlways = -1

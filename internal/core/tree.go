@@ -67,6 +67,15 @@ type Tree struct {
 	// optReads enables the latch-free optimistic read path (optread.go).
 	optReads bool
 
+	// combining/combineAlways resolve the Options combining knobs;
+	// appendFast enables the right-edge append fast path. rightEdge is
+	// that path's cache: a hint naming the rightmost leaf and its low
+	// fence (see appendfast.go). All are set in New, before sharing.
+	combining     bool
+	combineAlways bool
+	appendFast    bool
+	rightEdge     atomic.Pointer[rightEdgeHint]
+
 	anchor anchor
 	dx     deleteState
 	todo   *todoQueue
@@ -159,6 +168,9 @@ func New(opts Options) (*Tree, error) {
 	}
 	t.active.m = make(map[uint64]*Txn)
 	t.optReads = opts.OptimisticReads == ReadPathOptimistic
+	t.combining = opts.Combining == FeatureOn
+	t.combineAlways = t.combining && opts.CombineThreshold == CombineAlways
+	t.appendFast = opts.AppendFastPath == FeatureOn
 
 	// Observability: resolve the config (the obstrace build tag forces full
 	// tracing; the obsoff tag compiles all of it out), then point every
@@ -298,9 +310,15 @@ func (t *Tree) pinLatch(id page.PageID, m latch.Mode) (*node, error) {
 // unlatchUnpin releases the latch and the pin. Every exclusive release of
 // an index node funnels through here, so this is where the routing snapshot
 // for optimistic readers is republished — after the mutation, before the
-// version word goes even again inside Release.
+// version word goes even again inside Release. Exclusive releases of leaves
+// are likewise where the combining buffer is drained: the releaser is the
+// latch winner, so it applies every published operation before giving the
+// latch up (combine.go).
 func (t *Tree) unlatchUnpin(n *node, m latch.Mode, dirty bool) {
 	if m == latch.Exclusive {
+		if t.combining && n.isLeaf() {
+			dirty = t.drainCombiner(n) || dirty
+		}
 		n.publishRoute()
 	}
 	n.latch.Release(m)

@@ -72,6 +72,14 @@ type Config struct {
 	// MaxViolations caps how many failing crash points are described in
 	// the report before the sweep stops early (0 = default 10).
 	MaxViolations int
+
+	// Combining routes the workload's non-transactional puts and deletes
+	// through the hot-leaf combining layer unconditionally
+	// (core.CombineAlways): the single-threaded driver publishes each
+	// operation into the leaf's buffer and immediately self-drains it, so
+	// every combining crash point (batched WAL appends included) lands at
+	// a deterministic stream position.
+	Combining bool
 }
 
 func (c Config) withDefaults() Config {
@@ -395,7 +403,7 @@ func (d *driver) txn(abort bool) error {
 // blocks in Commit until the coalesced force completes, so the writer's
 // Syncs interleave at fixed stream positions.
 func newTree(cfg Config, disk *storage.SimDisk) (*core.Tree, error) {
-	return core.New(core.Options{
+	opts := core.Options{
 		PageSize:      cfg.PageSize,
 		CacheSize:     cfg.CacheSize,
 		MinFill:       cfg.MinFill,
@@ -404,7 +412,18 @@ func newTree(cfg Config, disk *storage.SimDisk) (*core.Tree, error) {
 		LogDevice:     disk.WAL(),
 		Durability:    cfg.Durability,
 		FlushInterval: -1,
-	})
+	}
+	if cfg.Combining {
+		// CombineAlways publishes every eligible operation without trying
+		// the latch first, so the single-threaded driver exercises the
+		// publish -> self-drain -> batched-WAL-append path deterministically.
+		opts.Combining = core.FeatureOn
+		opts.CombineThreshold = core.CombineAlways
+	} else {
+		opts.Combining = core.FeatureOff
+		opts.AppendFastPath = core.FeatureOff
+	}
+	return core.New(opts)
 }
 
 // checkRecovered verifies the recovered tree against the shadow model:
