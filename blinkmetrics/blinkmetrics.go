@@ -290,6 +290,10 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 	p.printf("blinktree_append_fastpath_total{event=\"hit\"} %d\n", s.AppendFastHits)
 	p.printf("blinktree_append_fastpath_total{event=\"miss\"} %d\n", s.AppendFastMisses)
 
+	p.header("blinktree_bulkload_total", "Bulk-load build activity.", "counter")
+	p.printf("blinktree_bulkload_total{event=\"pages\"} %d\n", s.BulkLoadPages)
+	p.printf("blinktree_bulkload_total{event=\"chunks\"} %d\n", s.BulkLoadChunks)
+
 	p.header("blinktree_txn_total", "Transaction outcomes and §2.4 lock/latch interaction.", "counter")
 	for _, v := range []struct {
 		event string
@@ -391,6 +395,7 @@ func WritePrometheus(w io.Writer, m blinktree.Metrics) error {
 		{"images_applied", rs.ImagesApplied},
 		{"allocs_replayed", rs.AllocsReplayed},
 		{"deallocs_replayed", rs.DeallocsReplayed},
+		{"bulk_chunks_skipped", rs.BulkChunksSkipped},
 		{"losers_undone", rs.LosersUndone},
 		{"corrupt_pages", rs.CorruptPages},
 		{"full_redo_retries", rs.FullRedoRetries},

@@ -396,3 +396,58 @@ func TestPrometheusRecoveredTree(t *testing.T) {
 		t.Errorf("records_scanned is zero after replaying a non-empty log")
 	}
 }
+
+func TestPrometheusBulkLoadFamily(t *testing.T) {
+	tr, err := blinktree.Open(blinktree.Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer tr.Close()
+	i := 0
+	next := func() ([]byte, []byte, bool) {
+		if i >= 4000 {
+			return nil, nil, false
+		}
+		k := []byte{byte(i >> 8), byte(i)}
+		i++
+		return k, k, true
+	}
+	if err := tr.BulkLoadParallel(next, 0.85, 4); err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, tr.Snapshot()); err != nil {
+		t.Fatalf("prometheus: %v", err)
+	}
+	body := sb.String()
+	for _, series := range []string{
+		`blinktree_bulkload_total{event="pages"}`,
+		`blinktree_bulkload_total{event="chunks"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("missing series %q", series)
+		}
+	}
+	if strings.Contains(body, `blinktree_bulkload_total{event="pages"} 0`) {
+		t.Errorf("bulkload pages counter is zero after a load")
+	}
+
+	// The expvar document carries the same counters inside the stats block.
+	m := tr.Snapshot()
+	doc := ExpvarDoc(m)
+	raw, err := json.Marshal(doc["stats"])
+	if err != nil {
+		t.Fatalf("marshal stats: %v", err)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("unmarshal stats: %v", err)
+	}
+	if v, ok := stats["BulkLoadPages"].(float64); !ok || v == 0 {
+		t.Errorf("expvar stats BulkLoadPages = %v", stats["BulkLoadPages"])
+	}
+	if v, ok := stats["BulkLoadChunks"].(float64); !ok || v == 0 {
+		t.Errorf("expvar stats BulkLoadChunks = %v", stats["BulkLoadChunks"])
+	}
+}

@@ -165,6 +165,12 @@ type Options struct {
 	// Baseline optionally selects a comparator algorithm.
 	Baseline Baseline
 
+	// BulkChunkPages is the number of pages grouped into one bulk-load
+	// chunk — the unit of WAL logging and of hand-off to BulkLoadParallel's
+	// builder goroutines (default 64, clamped to fit the cache). Most
+	// callers leave it zero.
+	BulkChunkPages int
+
 	// Durability selects when Txn.Commit acknowledges relative to the log
 	// force that makes the commit durable (default DurabilitySync). Only
 	// meaningful with a Path: volatile trees ignore it. See the
@@ -271,6 +277,7 @@ func Open(opts Options) (*Tree, error) {
 		AppendFastPath:   opts.AppendFastPath,
 
 		OptimisticReads: opts.OptimisticReads,
+		BulkChunkPages:  opts.BulkChunkPages,
 	}
 	if opts.Workers < 0 {
 		cOpts.Workers = core.WorkersNone
@@ -390,9 +397,23 @@ func (t *Tree) Count(start, end []byte) (int, error) { return t.inner.Count(star
 // pairs, building it bottom-up at the given fill factor (0 < fill <= 1;
 // 0 defaults to 0.85). Much faster than repeated Put. Returns an error on
 // a non-empty tree or unsorted input. With a durable tree the whole load
-// is one atomic, crash-recoverable action.
+// is one atomic, crash-recoverable action: it is logged as a sequence of
+// chunk records sealed by a commit record, and recovery replays either all
+// of it or none of it.
 func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) error {
 	return t.inner.BulkLoad(next, fill)
+}
+
+// BulkLoadParallel is BulkLoad with parallel builder goroutines. The
+// ascending stream is partitioned into contiguous key-range chunks built
+// concurrently by up to parallel workers, each under a page-ID lease taken
+// from the allocator up front; fences and side pointers are stitched across
+// chunk seams and the upper index levels are built over the whole leaf
+// level, so the resulting tree is structurally identical to a serial load's.
+// parallel <= 1 degrades to the serial path. The durability contract is the
+// same as BulkLoad's: all-or-nothing across any crash point.
+func (t *Tree) BulkLoadParallel(next func() (key, val []byte, ok bool), fill float64, parallel int) error {
+	return t.inner.BulkLoadParallel(next, fill, parallel)
 }
 
 // Len returns the total number of records.

@@ -21,6 +21,13 @@
 //	                                    # ... persist the trajectory and fail
 //	                                    #     unless group >= sync at the
 //	                                    #     highest writer count
+//	blinkbench -load                    # bulk-load scale sweep (10M + 20M keys,
+//	                                    #     serial vs parallel fan-outs)
+//	blinkbench -load -keys 10000000 -fill 0.9 -parallel 1,8 \
+//	           -out BENCH_scale.json -speedup 3.0
+//	                                    # ... persist the trajectory and fail
+//	                                    #     unless parallel@8 loads >= 3x the
+//	                                    #     serial rows/s
 //	blinkbench -skew                    # skew scenario matrix (distribution x
 //	                                    #     goroutines x contention engine)
 //	blinkbench -skew -out BENCH_skew.json -skewfrac 0.25 -combratio 0.9
@@ -71,6 +78,12 @@ func main() {
 		out        = flag.String("out", "", "with -commit or -skew: also write the JSON report to this file")
 		gate       = flag.Float64("gate", 0, "with -commit: exit nonzero unless group throughput >= gate * sync throughput at the highest writer count (0 disables)")
 
+		load         = flag.Bool("load", false, "run the bulk-load scale sweep instead of experiments")
+		loadKeys     = flag.String("keys", "10000000,20000000", "with -load: comma-separated tier sizes (keys to load)")
+		loadFill     = flag.Float64("fill", 0.85, "with -load: bulk-load fill factor")
+		loadParallel = flag.String("parallel", "1,8", "with -load: comma-separated bulk-load fan-outs (1 = serial baseline)")
+		loadSpeedup  = flag.Float64("speedup", 0, "with -load: exit nonzero unless the highest fan-out loads at least speedup x the serial rows/s at the smallest tier (0 disables)")
+
 		skew       = flag.Bool("skew", false, "run the skew scenario matrix instead of experiments")
 		skewThread = flag.String("skewthreads", "1,4,8,16", "with -skew: comma-separated goroutine counts")
 		skewOps    = flag.Int("skewops", 0, "with -skew: measured operations per cell (0 = default 20000)")
@@ -87,6 +100,14 @@ func main() {
 	if *commit {
 		if err := commitSweep(os.Stdout, *durability, *writers, *commitOps, *out, *gate); err != nil {
 			fmt.Fprintf(os.Stderr, "commit sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *load {
+		if err := loadSweep(os.Stdout, *loadKeys, *loadParallel, *loadFill, *out, *loadSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "load sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -230,6 +251,66 @@ func commitSweep(w io.Writer, modesCSV, writersCSV string, ops int, outPath stri
 			return err
 		}
 		fmt.Fprintf(w, "gate ok: %s\n", desc)
+	}
+	return nil
+}
+
+// loadSweep runs the bulk-load scale sweep, prints rows/s and pages-built
+// per cell, optionally persists the JSON report (BENCH_scale.json) and
+// applies the parallel-speedup gate.
+func loadSweep(w io.Writer, keysCSV, parallelCSV string, fill float64, outPath string, speedup float64) error {
+	cfg := bench.ScaleConfig{Fill: fill}
+	for _, s := range strings.Split(keysCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -keys entry %q", s)
+		}
+		cfg.Tiers = append(cfg.Tiers, n)
+	}
+	for _, s := range strings.Split(parallelCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -parallel entry %q", s)
+		}
+		cfg.Parallel = append(cfg.Parallel, n)
+	}
+
+	rep, err := bench.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== bulk-load scale sweep: fill %.2f, page size %d ==\n", rep.Fill, rep.PageSize)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "keys\tparallel\trows/s\tpages built\tchunks\theight\tfanout\tget p50\tput p50\tscan ns/key\tclean")
+	for _, r := range rep.Results {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%d\t%d\t%d\t%.1f\t%s\t%s\t%.0f\t%v\n",
+			r.Keys, r.Parallel, r.RowsPerSec, r.PagesBuilt, r.Chunks,
+			r.Height, r.IndexFanout,
+			time.Duration(r.GetP50NS), time.Duration(r.PutP50NS),
+			r.ScanNSPerKey, r.VerifyClean)
+	}
+	tw.Flush()
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	if speedup > 0 {
+		desc, err := rep.GateParallelSpeedup(speedup)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "speedup gate ok: %s\n", desc)
 	}
 	return nil
 }

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"blinktree/internal/core"
+)
+
+// ScaleConfig parameterizes the scale-tier sweep (experiment E15): bulk
+// loads of Tiers keys at each Parallel fan-out, followed by point and range
+// probes against the loaded tree.
+type ScaleConfig struct {
+	// Tiers are the key counts to load (default 10M and 20M).
+	Tiers []int
+	// Parallel are the bulk-load fan-outs to measure (default 1 and 8;
+	// 1 is the serial baseline the speedup gate divides by).
+	Parallel []int
+	// Fill is the bulk-load fill factor (default 0.85).
+	Fill float64
+	// PageSize is the page size for every cell (default 4096 — the scale
+	// tier models a realistic disk page, unlike the 1KB experiment pages).
+	PageSize int
+	// Probes is the number of point probes (Gets, then Puts) per cell
+	// (default 2000). Range-scan probes are Probes/100 scans of 5000
+	// records each.
+	Probes int
+	// Seed drives the probe key choice (default 1).
+	Seed int64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.Tiers) == 0 {
+		c.Tiers = []int{10_000_000, 20_000_000}
+	}
+	if len(c.Parallel) == 0 {
+		c.Parallel = []int{1, 8}
+	}
+	if c.Fill == 0 {
+		c.Fill = 0.85
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Probes == 0 {
+		c.Probes = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScaleResult is one (tier, parallel) cell of the sweep.
+type ScaleResult struct {
+	// Keys is the tier size; Parallel the bulk-load fan-out.
+	Keys     int `json:"keys"`
+	Parallel int `json:"parallel"`
+	// LoadNS is the wall time of the bulk load; RowsPerSec the headline
+	// load throughput.
+	LoadNS     int64   `json:"load_ns"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// PagesBuilt and Chunks snapshot the loader's counters.
+	PagesBuilt uint64 `json:"pages_built"`
+	Chunks     uint64 `json:"chunks"`
+	// Height and IndexFanout describe the built tree: root level and the
+	// average child count of index nodes (compact separators push this up).
+	Height      int     `json:"height"`
+	IndexFanout float64 `json:"index_fanout"`
+	// VerifyClean records whether the deep audit passed on the built tree.
+	VerifyClean bool `json:"verify_clean"`
+	// GetP50NS/GetP99NS and PutP50NS/PutP99NS are point-probe latencies
+	// after the load; ScanNSPerKey is the amortized per-record cost of
+	// range scans.
+	GetP50NS     int64   `json:"get_p50_ns"`
+	GetP99NS     int64   `json:"get_p99_ns"`
+	PutP50NS     int64   `json:"put_p50_ns"`
+	PutP99NS     int64   `json:"put_p99_ns"`
+	ScanNSPerKey float64 `json:"scan_ns_per_key"`
+}
+
+// ScaleReport is the persisted scale-tier sweep, serialized to
+// BENCH_scale.json at the repo root by the CI perf-trajectory job.
+type ScaleReport struct {
+	// PageSize and Fill restate the per-cell configuration.
+	PageSize int     `json:"page_size"`
+	Fill     float64 `json:"fill"`
+	// Results holds every measured cell.
+	Results []ScaleResult `json:"results"`
+}
+
+// Lookup returns the cell for (keys, parallel), if present.
+func (r *ScaleReport) Lookup(keys, parallel int) (ScaleResult, bool) {
+	for _, res := range r.Results {
+		if res.Keys == keys && res.Parallel == parallel {
+			return res, true
+		}
+	}
+	return ScaleResult{}, false
+}
+
+// GateParallelSpeedup checks the headline acceptance ratio: at the smallest
+// tier, the highest measured fan-out must load at least ratio times the
+// serial rows/s, with both cells verify-clean. Returns a description of the
+// comparison and an error when the gate fails.
+func (r *ScaleReport) GateParallelSpeedup(ratio float64) (string, error) {
+	tier, maxPar := 0, 0
+	for _, res := range r.Results {
+		if tier == 0 || res.Keys < tier {
+			tier = res.Keys
+		}
+	}
+	for _, res := range r.Results {
+		if res.Keys == tier && res.Parallel > maxPar {
+			maxPar = res.Parallel
+		}
+	}
+	serial, ok1 := r.Lookup(tier, 1)
+	par, ok2 := r.Lookup(tier, maxPar)
+	if !ok1 || !ok2 || maxPar <= 1 {
+		return "", fmt.Errorf("bench: report lacks serial and parallel cells at tier %d", tier)
+	}
+	if !serial.VerifyClean || !par.VerifyClean {
+		return "", fmt.Errorf("bench: tier %d cells are not verify-clean", tier)
+	}
+	desc := fmt.Sprintf("%d keys: parallel@%d %.0f rows/s vs serial %.0f rows/s (%.2fx, gate %.2fx)",
+		tier, maxPar, par.RowsPerSec, serial.RowsPerSec, par.RowsPerSec/serial.RowsPerSec, ratio)
+	if par.RowsPerSec < serial.RowsPerSec*ratio {
+		return desc, fmt.Errorf("bench: parallel-speedup gate failed: %s", desc)
+	}
+	return desc, nil
+}
+
+// WriteJSON serializes the report (indented, trailing newline) for
+// BENCH_scale.json.
+func (r *ScaleReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadScaleReport parses a report previously written by WriteJSON.
+func ReadScaleReport(rd io.Reader) (*ScaleReport, error) {
+	var r ScaleReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// scaleKey renders the i-th key of a tier: fixed width keeps every level's
+// separators the same length, so fanout differences measure the compact
+// separator logic rather than key-length noise.
+func scaleKey(i int) []byte { return []byte(fmt.Sprintf("k%012d", i)) }
+
+func scaleVal(i int) []byte { return []byte(fmt.Sprintf("v%07d", i%10_000_000)) }
+
+// scaleFeeder streams the tier without materializing it.
+func scaleFeeder(n int) func() ([]byte, []byte, bool) {
+	i := 0
+	return func() ([]byte, []byte, bool) {
+		if i >= n {
+			return nil, nil, false
+		}
+		k, v := scaleKey(i), scaleVal(i)
+		i++
+		return k, v, true
+	}
+}
+
+// RunScale measures every (tier, parallel) cell of the sweep.
+func RunScale(cfg ScaleConfig) (*ScaleReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ScaleReport{PageSize: cfg.PageSize, Fill: cfg.Fill}
+	for _, tier := range cfg.Tiers {
+		for _, par := range cfg.Parallel {
+			res, err := runScaleCell(cfg, tier, par)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale %d/%d: %w", tier, par, err)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+func runScaleCell(cfg ScaleConfig, tier, parallel int) (ScaleResult, error) {
+	tr, err := core.New(core.Options{
+		PageSize:  cfg.PageSize,
+		CacheSize: 1 << 15,
+		Workers:   core.WorkersNone,
+	})
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	defer tr.Close()
+
+	start := time.Now()
+	if err := tr.BulkLoadParallel(scaleFeeder(tier), cfg.Fill, parallel); err != nil {
+		return ScaleResult{}, err
+	}
+	loadNS := time.Since(start).Nanoseconds()
+
+	res := ScaleResult{
+		Keys: tier, Parallel: parallel,
+		LoadNS:     loadNS,
+		RowsPerSec: float64(tier) / (float64(loadNS) / 1e9),
+		PagesBuilt: tr.Stats().BulkLoadPages,
+		Chunks:     tr.Stats().BulkLoadChunks,
+	}
+
+	deep, err := tr.VerifyDeep()
+	if err != nil {
+		return res, fmt.Errorf("deep verify: %w", err)
+	}
+	res.VerifyClean = true
+	res.Height = deep.Height
+	var below, idx int
+	for lvl := 1; lvl < len(deep.NodesPerLevel); lvl++ {
+		below += deep.NodesPerLevel[lvl-1]
+		idx += deep.NodesPerLevel[lvl]
+	}
+	if idx > 0 {
+		res.IndexFanout = float64(below) / float64(idx)
+	}
+
+	if err := scaleProbes(tr, cfg, tier, &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// scaleProbes measures post-load point and range latency: Gets on loaded
+// keys, Puts of fresh keys landing between loaded ones, and range scans.
+func scaleProbes(tr *core.Tree, cfg ScaleConfig, tier int, res *ScaleResult) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lat := make([]int64, 0, cfg.Probes)
+	for i := 0; i < cfg.Probes; i++ {
+		k := scaleKey(rng.Intn(tier))
+		t0 := time.Now()
+		if _, err := tr.Get(k); err != nil {
+			return fmt.Errorf("probe get %s: %w", k, err)
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	res.GetP50NS, res.GetP99NS = quantiles(lat)
+
+	lat = lat[:0]
+	for i := 0; i < cfg.Probes; i++ {
+		// "x" suffix sorts the probe key just after a loaded key: a random
+		// in-leaf insert, not a right-edge append.
+		k := append(scaleKey(rng.Intn(tier)), 'x')
+		t0 := time.Now()
+		if err := tr.Put(k, []byte("probe")); err != nil {
+			return fmt.Errorf("probe put %s: %w", k, err)
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	res.PutP50NS, res.PutP99NS = quantiles(lat)
+
+	scans := cfg.Probes / 100
+	if scans == 0 {
+		scans = 1
+	}
+	const scanLen = 5000
+	var scanned int
+	t0 := time.Now()
+	for i := 0; i < scans; i++ {
+		start := scaleKey(rng.Intn(tier))
+		n := 0
+		err := tr.Scan(start, nil, func(k, v []byte) bool {
+			n++
+			return n < scanLen
+		})
+		if err != nil {
+			return fmt.Errorf("probe scan from %s: %w", start, err)
+		}
+		scanned += n
+	}
+	if scanned > 0 {
+		res.ScanNSPerKey = float64(time.Since(t0).Nanoseconds()) / float64(scanned)
+	}
+	return nil
+}
+
+// quantiles returns the p50 and p99 of lat (which it sorts in place).
+func quantiles(lat []int64) (p50, p99 int64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2], lat[len(lat)*99/100]
+}

@@ -3,14 +3,26 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"blinktree/internal/latch"
 	"blinktree/internal/page"
+	"blinktree/internal/storage"
 	"blinktree/internal/wal"
 )
 
 // ErrNotEmpty is returned by BulkLoad on a tree that already has records.
 var ErrNotEmpty = errors.New("blinktree: bulk load requires an empty tree")
+
+// ErrBadParallel is returned for a negative parallelism degree.
+var ErrBadParallel = errors.New("blinktree: bulk load parallelism must be >= 0")
+
+// defaultChunkPages is the number of leaves grouped into one build/log chunk
+// when Options.BulkChunkPages is zero. A chunk is the unit of WAL logging
+// (one SMOBulkChunk record) and of hand-off to a builder goroutine, so it
+// bounds both the largest log record and the pages pinned per in-flight
+// chunk.
+const defaultChunkPages = 64
 
 // BulkLoad populates an empty tree from strictly ascending (key, value)
 // pairs, building it bottom-up: leaves are packed to fill*PageSize, then
@@ -21,9 +33,63 @@ var ErrNotEmpty = errors.New("blinktree: bulk load requires an empty tree")
 // next returns the stream; ok=false ends it. fill in (0,1] defaults to
 // 0.85. The tree must be empty; concurrent operations are blocked for the
 // duration (the load holds the checkpoint gate exclusively). With logging
-// enabled the entire load is one atomic SMO record: after a crash the load
+// enabled the load is made durable as chunked SMO records sealed by a
+// commit record and a load-completion checkpoint: after a crash the load
 // either happened completely or not at all.
 func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) error {
+	return t.bulkLoad(next, fill, 1)
+}
+
+// BulkLoadParallel is BulkLoad with parallel builder goroutines: the
+// ascending stream is partitioned into contiguous key-range chunks, each
+// chunk's leaves are built by a worker from a page-ID lease taken up front
+// (so workers never contend on the allocator), and the coordinator stitches
+// fences and side pointers across chunk seams before building the shared
+// upper index levels. The resulting tree satisfies structure invariants
+// identical to a serial load's. parallel <= 1 degrades to the serial path;
+// 0 means serial.
+func (t *Tree) BulkLoadParallel(next func() (key, val []byte, ok bool), fill float64, parallel int) error {
+	if parallel < 0 {
+		return ErrBadParallel
+	}
+	return t.bulkLoad(next, fill, parallel)
+}
+
+// bulkChild is one node of the level below the one being built: its low
+// fence and page ID, all an index level needs.
+type bulkChild struct {
+	low []byte
+	id  page.PageID
+}
+
+// bulkSession carries the state of one load across its phases.
+type bulkSession struct {
+	t        *Tree
+	target   int // fill * PageSize
+	parallel int
+	chunk    int    // leaves per chunk
+	sid      uint64 // WAL bulk session ID (Record.Txn)
+
+	// allocated records every page this load reserved, for reclamation if
+	// the load fails before the anchor flip.
+	allocated []page.PageID
+
+	// level accumulates (low fence, page ID) of the level most recently
+	// completed, bottom-up; rootLvl is the height after the index build.
+	level   []bulkChild
+	rootLvl uint8
+
+	// pending holds built-but-unlogged nodes of the serial leaf path and
+	// of the index-level build; flushPending logs and unpins them.
+	pending []*node
+
+	pages  uint64 // nodes built
+	chunks uint64 // chunk groups logged/flushed
+}
+
+// bulkLoad is the shared implementation behind BulkLoad and
+// BulkLoadParallel.
+func (t *Tree) bulkLoad(next func() (key, val []byte, ok bool), fill float64, parallel int) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
@@ -36,8 +102,10 @@ func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) er
 	if fill <= 0 || fill > 1 {
 		fill = 0.85
 	}
-	target := int(fill * float64(t.opts.PageSize))
 
+	// Emptiness: the anchor level rules out any multi-level tree without
+	// touching a page; only a level-0 root needs fetching, to distinguish
+	// a fresh (or fully emptied) tree from one still holding records.
 	oldRoot, oldLevel := t.readAnchor()
 	if oldLevel != 0 {
 		return ErrNotEmpty
@@ -52,120 +120,173 @@ func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) er
 		return ErrNotEmpty
 	}
 
-	// Build the leaf level.
-	var nodes []*node // all created nodes, for logging and unpinning
-	var level []*node // current level being built
+	s := &bulkSession{
+		t:        t,
+		target:   int(fill * float64(t.opts.PageSize)),
+		parallel: parallel,
+		chunk:    t.bulkChunkPages(parallel),
+	}
+	if t.log != nil {
+		s.sid = t.txnSeq.Add(1)
+	}
+
 	done := false
 	defer func() {
 		if done {
 			return
 		}
-		// Failed load: the built pages are unreferenced; release and free
-		// them so nothing leaks.
-		for _, n := range nodes {
-			t.pool.Unpin(n.id, false)
-		}
-		for _, n := range nodes {
-			t.reclaim(n.id)
+		// Failed load: every reserved page is unreferenced (the anchor
+		// never flipped); release and free them so nothing leaks. The
+		// phases have already unpinned whatever they had pinned.
+		for _, id := range s.allocated {
+			t.reclaim(id)
 		}
 	}()
-	newLeaf := func(low []byte) (*node, error) {
-		n, err := t.allocNode(page.Content{
-			Kind: page.Leaf, Level: 0,
-			Low:  low,
-			Keys: [][]byte{}, Vals: [][]byte{},
-		})
-		if err != nil {
-			return nil, err
-		}
-		nodes = append(nodes, n)
-		level = append(level, n)
-		return n, nil
+
+	if s.parallel > 1 {
+		err = s.loadLeavesParallel(next)
+	} else {
+		err = s.loadLeavesSerial(next)
 	}
-	cur, err := newLeaf([]byte{})
 	if err != nil {
 		return err
 	}
-	var prevKey []byte
-	count := 0
-	for {
-		k, v, ok := next()
-		if !ok {
-			break
-		}
-		if err := t.validateEntry(k, v); err != nil {
-			return err
-		}
-		if count > 0 && t.cmp(prevKey, k) >= 0 {
-			return fmt.Errorf("blinktree: bulk load keys not strictly ascending at %q", k)
-		}
-		if cur.size()+page.EntrySize(page.Leaf, len(k), len(v)) > target && len(cur.c.Keys) > 0 {
-			low := append([]byte(nil), k...)
-			nxt, err := newLeaf(low)
-			if err != nil {
-				return err
-			}
-			cur.c.High = low
-			cur.c.Right = nxt.id
-			cur = nxt
-		}
-		cur.c.Keys = append(cur.c.Keys, append([]byte(nil), k...))
-		cur.c.Vals = append(cur.c.Vals, append([]byte(nil), v...))
-		prevKey = append(prevKey[:0], k...)
-		count++
+	rootID, err := s.buildIndexLevels()
+	if err != nil {
+		return err
 	}
 
-	// Build index levels until a single node remains.
-	lvl := uint8(0)
-	for len(level) > 1 {
-		lvl++
-		below := level
-		level = nil
-		var parent *node
-		newIndex := func(low []byte) (*node, error) {
-			n, err := t.allocNode(page.Content{
-				Kind: page.Index, Level: lvl,
-				Low:  low,
-				Keys: [][]byte{}, Children: []page.PageID{},
-			})
-			if err != nil {
-				return nil, err
-			}
-			nodes = append(nodes, n)
-			level = append(level, n)
-			return n, nil
-		}
-		parent, err = newIndex([]byte{})
-		if err != nil {
+	// Commit point: one record naming the new root seals the session — its
+	// presence makes every chunk of this session redoable, its absence
+	// makes them all dead weight (recovery skips them), so the load is
+	// atomic across any crash point despite spanning many records.
+	if t.log != nil {
+		if _, err := t.log.Append(&wal.Record{
+			Type:     wal.TSMO,
+			SMO:      wal.SMOBulkCommit,
+			Txn:      s.sid,
+			Root:     rootID,
+			Deallocs: []page.PageID{oldRoot},
+		}); err != nil {
 			return err
 		}
-		for _, child := range below {
-			term := page.EntrySize(page.Index, len(child.c.Low), 0)
-			if parent.size()+term > target && len(parent.c.Keys) > 0 {
-				low := append([]byte(nil), child.c.Low...)
-				nxt, err := newIndex(low)
-				if err != nil {
-					return err
-				}
-				parent.c.High = low
-				parent.c.Right = nxt.id
-				parent = nxt
-			}
-			parent.c.Keys = append(parent.c.Keys, append([]byte(nil), child.c.Low...))
-			parent.c.Children = append(parent.c.Children, child.id)
+		if err := t.log.FlushAll(); err != nil {
+			return err
 		}
 	}
-	root := level[0]
 
-	// Make the load durable as ONE atomic action, then flip the anchor.
+	t.anchor.mu.Lock()
+	t.anchor.root = rootID
+	t.anchor.level = s.rootLevel()
+	t.anchor.mu.Unlock()
+	done = true
+	t.c.bulkLoadPages.Add(s.pages)
+	t.c.bulkLoadChunks.Add(s.chunks)
+
+	// The formatting leaf is unreachable now; retire it. Its deletion is a
+	// leaf delete under no parent, so no delete-state update is needed —
+	// nothing can hold a reference to an empty just-formatted root.
+	old, err := t.fetch(oldRoot)
+	if err == nil {
+		old.latch.Acquire(latch.Exclusive)
+		old.dead = true
+		old.latch.Release(latch.Exclusive)
+		t.pool.Unpin(oldRoot, false)
+		t.reclaim(oldRoot)
+	}
+
+	// Load-completion checkpoint: flush the freshly built pages and bound
+	// redo past the load, so no later recovery replays it. Inlined rather
+	// than calling Checkpoint (the load already holds the gate).
+	if t.log != nil {
+		if err := t.pool.FlushAll(); err != nil {
+			return err
+		}
+		if err := t.store.Sync(); err != nil {
+			return err
+		}
+		t.active.mu.Lock()
+		var act []wal.ActiveTxn
+		for id, x := range t.active.m {
+			act = append(act, wal.ActiveTxn{ID: id, LastLSN: x.last()})
+		}
+		t.active.mu.Unlock()
+		if _, err := t.log.Append(&wal.Record{
+			Type:   wal.TCheckpoint,
+			Root:   rootID,
+			Active: act,
+		}); err != nil {
+			return err
+		}
+		if err := t.log.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkChunkPages resolves the chunk size, clamped so the pinned working set
+// (the in-flight dispatch window plus one building chunk plus the index
+// pending group) stays safely inside the buffer pool.
+func (t *Tree) bulkChunkPages(parallel int) int {
+	cp := t.opts.BulkChunkPages
+	if cp <= 0 {
+		cp = defaultChunkPages
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	budget := t.opts.CacheSize - 8
+	if max := budget / (parallel + 2); cp > max {
+		cp = max
+	}
+	if cp < 1 {
+		cp = 1
+	}
+	return cp
+}
+
+// rootLevel returns the level of the single remaining node after the index
+// build. s.level holds exactly that node.
+func (s *bulkSession) rootLevel() uint8 {
+	return s.rootLvl
+}
+
+// leafBoundary reports whether adding an entry of the given key/value sizes
+// would overfill the open leaf. size is the leaf's current serialized size.
+// len(k) extra bytes are reserved for the high fence the leaf will receive
+// when it closes: the separator is never longer than the first key of the
+// next leaf, so the reservation is a safe upper bound — without it a load
+// at fill=1.0 could build a leaf that no longer fits once its fence is set.
+func (s *bulkSession) leafBoundary(size, nkeys, klen, vlen int) bool {
+	return nkeys > 0 && size+page.EntrySize(page.Leaf, klen, vlen)+klen > s.target
+}
+
+// boundarySep returns the fence separating two adjacent leaves: the
+// shortest byte string above the last key of the left leaf under bytewise
+// ordering (suffix truncation, same as leaf splits), or an exact copy of
+// the right leaf's first key under a custom comparator.
+func (s *bulkSession) boundarySep(prevKey, k []byte) []byte {
+	if s.t.bytewise {
+		return shortestSeparator(prevKey, k)
+	}
+	return append([]byte(nil), k...)
+}
+
+// logChunk makes one chunk of freshly built nodes durable (one SMOBulkChunk
+// record carrying all after-images and allocations, stamped with the record
+// LSN), publishes their routing snapshots and unpins them dirty. The nodes
+// were private until now; they stay unreachable until the anchor flip, but
+// once unpinned they may be evicted, which is exactly why the images must
+// be in the log first (the WAL rule covers the write-back).
+func (s *bulkSession) logChunk(nodes []*node) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	t := s.t
 	if t.log != nil {
 		_, err := t.log.AppendFunc(func(lsn wal.LSN) *wal.Record {
-			rec := &wal.Record{
-				Type:     wal.TSMO,
-				SMO:      wal.SMOFormat,
-				Root:     root.id,
-				Deallocs: []page.PageID{oldRoot},
-			}
+			rec := &wal.Record{Type: wal.TSMO, SMO: wal.SMOBulkChunk, Txn: s.sid}
 			for _, n := range nodes {
 				n.c.LSN = uint64(lsn)
 				n.c.Epoch = uint64(lsn)
@@ -181,35 +302,454 @@ func (t *Tree) BulkLoad(next func() (key, val []byte, ok bool), fill float64) er
 		if err != nil {
 			return err
 		}
-		if err := t.log.FlushAll(); err != nil {
-			return err
-		}
 	}
-
-	// All built nodes are private until the anchor flip; their routing
-	// snapshots must exist before optimistic readers can reach them.
 	for _, n := range nodes {
 		n.publishRoute()
-	}
-	t.anchor.mu.Lock()
-	t.anchor.root = root.id
-	t.anchor.level = root.c.Level
-	t.anchor.mu.Unlock()
-	done = true
-
-	for _, n := range nodes {
 		t.pool.Unpin(n.id, true)
 	}
-	// The formatting leaf is unreachable now; retire it. Its deletion is a
-	// leaf delete under no parent, so no delete-state update is needed —
-	// nothing can hold a reference to an empty just-formatted root.
-	old, err := t.fetch(oldRoot)
-	if err == nil {
-		old.latch.Acquire(latch.Exclusive)
-		old.dead = true
-		old.latch.Release(latch.Exclusive)
-		t.pool.Unpin(oldRoot, false)
-		t.reclaim(oldRoot)
+	s.pages += uint64(len(nodes))
+	s.chunks++
+	return nil
+}
+
+// flushPending logs and releases the accumulated pending nodes. On a log
+// failure the nodes are unpinned anyway (the load is aborting).
+func (s *bulkSession) flushPending() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	err := s.logChunk(s.pending)
+	if err != nil {
+		for _, n := range s.pending {
+			s.t.pool.Unpin(n.id, false)
+		}
+	}
+	s.pending = s.pending[:0]
+	return err
+}
+
+// unpinPending releases the pending nodes without logging (failure path).
+func (s *bulkSession) unpinPending() {
+	for _, n := range s.pending {
+		s.t.pool.Unpin(n.id, false)
+	}
+	s.pending = s.pending[:0]
+}
+
+// allocTracked allocates a node and records its page for failure cleanup.
+func (s *bulkSession) allocTracked(c page.Content) (*node, error) {
+	n, err := s.t.allocNode(c)
+	if err != nil {
+		return nil, err
+	}
+	s.allocated = append(s.allocated, n.id)
+	return n, nil
+}
+
+// loadLeavesSerial is the single-goroutine leaf build: the baseline the
+// parallel path is measured against. It streams entries into the open leaf
+// with per-entry copies, closing leaves at the shared boundary rule and
+// logging/unpinning them a chunk at a time so the pinned working set stays
+// bounded no matter how large the load is.
+func (s *bulkSession) loadLeavesSerial(next func() (key, val []byte, ok bool)) error {
+	t := s.t
+	fail := func(cur *node, err error) error {
+		if cur != nil {
+			t.pool.Unpin(cur.id, false)
+		}
+		s.unpinPending()
+		return err
+	}
+	cur, err := s.allocTracked(page.Content{
+		Kind: page.Leaf, Level: 0,
+		Low:  []byte{},
+		Keys: [][]byte{}, Vals: [][]byte{},
+	})
+	if err != nil {
+		return err
+	}
+	var prevKey []byte
+	count := 0
+	for {
+		k, v, ok := next()
+		if !ok {
+			break
+		}
+		if err := t.validateEntry(k, v); err != nil {
+			return fail(cur, err)
+		}
+		if count > 0 && t.cmp(prevKey, k) >= 0 {
+			return fail(cur, fmt.Errorf("blinktree: bulk load keys not strictly ascending at %q", k))
+		}
+		if s.leafBoundary(cur.size(), len(cur.c.Keys), len(k), len(v)) {
+			sep := s.boundarySep(prevKey, k)
+			nxt, err := s.allocTracked(page.Content{
+				Kind: page.Leaf, Level: 0,
+				Low:  sep,
+				Keys: [][]byte{}, Vals: [][]byte{},
+			})
+			if err != nil {
+				return fail(cur, err)
+			}
+			cur.c.High = sep
+			cur.c.Right = nxt.id
+			if err := s.closeLeaf(cur); err != nil {
+				return fail(nxt, err)
+			}
+			cur = nxt
+		}
+		cur.c.Keys = append(cur.c.Keys, append([]byte(nil), k...))
+		cur.c.Vals = append(cur.c.Vals, append([]byte(nil), v...))
+		prevKey = append(prevKey[:0], k...)
+		count++
+	}
+	if err := s.closeLeaf(cur); err != nil {
+		return fail(nil, err)
+	}
+	if err := s.flushPending(); err != nil {
+		s.unpinPending()
+		return err
+	}
+	return nil
+}
+
+// closeLeaf files a completed leaf: it joins the level hand-off list for
+// the index build and the pending chunk, which is flushed when full.
+func (s *bulkSession) closeLeaf(n *node) error {
+	s.level = append(s.level, bulkChild{low: n.c.Low, id: n.id})
+	s.pending = append(s.pending, n)
+	if len(s.pending) >= s.chunk {
+		return s.flushPending()
+	}
+	return nil
+}
+
+// --- parallel leaf build ---
+
+// bulkEnt locates one entry inside a chunk arena: the key starts at off,
+// the value follows it immediately.
+type bulkEnt struct {
+	off  int
+	klen int
+	vlen int
+}
+
+// bulkLeafSpec describes one leaf of a chunk: its first entry index and its
+// low fence (an owned copy, produced by the coordinator's boundary rule).
+type bulkLeafSpec struct {
+	start int
+	low   []byte
+}
+
+// bulkChunk is the unit of hand-off between the coordinator and a builder
+// goroutine: a contiguous key-range of whole leaves, the arena holding
+// their bytes, and the page-ID lease the leaves adopt.
+type bulkChunk struct {
+	buf    []byte
+	ents   []bulkEnt
+	leaves []bulkLeafSpec
+	ids    []page.PageID
+
+	// Seam stitching: the low fence and page ID of the next chunk's first
+	// leaf, filled in by the coordinator when that chunk is sealed; zero
+	// on the final chunk (its last leaf keeps High=nil, Right=0).
+	nextLow []byte
+	nextID  page.PageID
+
+	// Worker results. done is closed when the worker is finished; on
+	// success nodes holds one pinned node per leaf, on failure err is set
+	// and the worker has already unpinned whatever it had inserted.
+	nodes    []*node
+	err      error
+	done     chan struct{}
+	finished bool
+}
+
+// loadLeavesParallel is the multi-goroutine leaf build. The coordinator
+// (the calling goroutine) streams entries into per-chunk arenas and decides
+// every leaf boundary with the same rule as the serial path — which is what
+// makes the two paths structurally identical — while builder goroutines
+// turn completed chunks into pinned leaf nodes under pre-leased page IDs.
+// Chunks are finished (seam-stitched, logged, unpinned) strictly in key
+// order, at most `parallel` chunks in flight, so memory stays bounded and
+// the WAL sees chunk records in ascending key order.
+func (s *bulkSession) loadLeavesParallel(next func() (key, val []byte, ok bool)) error {
+	t := s.t
+
+	in := make(chan *bulkChunk, s.parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < s.parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range in {
+				s.buildChunk(c)
+				close(c.done)
+			}
+		}()
+	}
+
+	var chunks []*bulkChunk
+	nextFinish := 0 // chunks[:nextFinish] are finished
+	inClosed := false
+	abort := func(err error) error {
+		if !inClosed {
+			close(in)
+		}
+		wg.Wait()
+		for _, c := range chunks[nextFinish:] {
+			<-c.done
+			for _, n := range c.nodes {
+				t.pool.Unpin(n.id, false)
+			}
+		}
+		return err
+	}
+
+	arenaCap := s.chunk * s.target
+	newChunk := func() *bulkChunk {
+		return &bulkChunk{
+			buf:    make([]byte, 0, arenaCap),
+			leaves: []bulkLeafSpec{{start: 0, low: []byte{}}},
+			done:   make(chan struct{}),
+		}
+	}
+	cur := newChunk()
+
+	seal := func(c *bulkChunk) error {
+		ids, err := storage.AllocateBatch(t.store, len(c.leaves))
+		if err != nil {
+			return err
+		}
+		s.allocated = append(s.allocated, ids...)
+		c.ids = ids
+		if len(chunks) > 0 {
+			prev := chunks[len(chunks)-1]
+			prev.nextLow = c.leaves[0].low
+			prev.nextID = ids[0]
+		}
+		chunks = append(chunks, c)
+		in <- c
+		// Keep at most `parallel` chunks in flight beyond this one.
+		if len(chunks)-nextFinish > s.parallel {
+			if err := s.finishChunk(chunks[nextFinish]); err != nil {
+				return err
+			}
+			nextFinish++
+		}
+		return nil
+	}
+
+	leafBase := (&page.Content{Kind: page.Leaf}).Size()
+	leafSize := leafBase // open leaf's serialized size (Low is empty)
+	leafEnts := 0
+	var prevKey []byte // last appended key, aliasing a chunk arena
+
+	for {
+		k, v, ok := next()
+		if !ok {
+			break
+		}
+		if err := t.validateEntry(k, v); err != nil {
+			return abort(err)
+		}
+		if s.leafBoundary(leafSize, leafEnts, len(k), len(v)) {
+			// The boundary pair is ordering-checked here; builders check
+			// the pairs interior to each leaf. Together every adjacent
+			// pair is checked exactly once.
+			if t.cmp(prevKey, k) >= 0 {
+				return abort(fmt.Errorf("blinktree: bulk load keys not strictly ascending at %q", k))
+			}
+			sep := s.boundarySep(prevKey, k)
+			if len(cur.leaves) >= s.chunk {
+				if err := seal(cur); err != nil {
+					return abort(err)
+				}
+				cur = newChunk()
+				cur.leaves[0].low = sep
+			} else {
+				cur.leaves = append(cur.leaves, bulkLeafSpec{start: len(cur.ents), low: sep})
+			}
+			leafSize = leafBase + len(sep)
+			leafEnts = 0
+		}
+		off := len(cur.buf)
+		cur.buf = append(cur.buf, k...)
+		cur.buf = append(cur.buf, v...)
+		cur.ents = append(cur.ents, bulkEnt{off: off, klen: len(k), vlen: len(v)})
+		prevKey = cur.buf[off : off+len(k)]
+		leafSize += page.EntrySize(page.Leaf, len(k), len(v))
+		leafEnts++
+	}
+
+	// Final (possibly partial, possibly empty) chunk, then drain in order.
+	if err := seal(cur); err != nil {
+		return abort(err)
+	}
+	inClosed = true
+	close(in)
+	for ; nextFinish < len(chunks); nextFinish++ {
+		if err := s.finishChunk(chunks[nextFinish]); err != nil {
+			return abort(err)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// buildChunk turns one sealed chunk into pinned leaf nodes (run on a
+// builder goroutine). Keys and values alias the chunk arena — the tree
+// never mutates stored key/value bytes in place, so the zero-copy slices
+// are safe and the build does two allocations per leaf instead of two per
+// entry. On failure the nodes already inserted are unpinned and err is set.
+func (s *bulkSession) buildChunk(c *bulkChunk) {
+	t := s.t
+	fail := func(nodes []*node, err error) {
+		for _, n := range nodes {
+			t.pool.Unpin(n.id, false)
+		}
+		c.err = err
+	}
+	nodes := make([]*node, 0, len(c.leaves))
+	for i, lf := range c.leaves {
+		end := len(c.ents)
+		if i+1 < len(c.leaves) {
+			end = c.leaves[i+1].start
+		}
+		keys := make([][]byte, 0, end-lf.start)
+		vals := make([][]byte, 0, end-lf.start)
+		var prev []byte
+		for _, e := range c.ents[lf.start:end] {
+			k := c.buf[e.off : e.off+e.klen]
+			v := c.buf[e.off+e.klen : e.off+e.klen+e.vlen]
+			if prev != nil && t.cmp(prev, k) >= 0 {
+				fail(nodes, fmt.Errorf("blinktree: bulk load keys not strictly ascending at %q", k))
+				return
+			}
+			prev = k
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		cont := page.Content{
+			Kind: page.Leaf, Level: 0,
+			Low:  lf.low,
+			Keys: keys, Vals: vals,
+		}
+		if i+1 < len(c.leaves) {
+			cont.High = c.leaves[i+1].low
+			cont.Right = c.ids[i+1]
+		}
+		n, err := t.adoptNode(c.ids[i], cont)
+		if err != nil {
+			fail(nodes, err)
+			return
+		}
+		nodes = append(nodes, n)
+	}
+	c.nodes = nodes
+}
+
+// finishChunk completes one built chunk in key order: waits for its
+// builder, stitches the seam to the following chunk (the last leaf's high
+// fence and side pointer), logs the chunk record, and releases the nodes.
+func (s *bulkSession) finishChunk(c *bulkChunk) error {
+	t := s.t
+	<-c.done
+	if c.err != nil {
+		c.finished = true
+		return c.err
+	}
+	last := c.nodes[len(c.nodes)-1]
+	if c.nextID != 0 {
+		last.c.High = c.nextLow
+		last.c.Right = c.nextID
+	}
+	if err := s.logChunk(c.nodes); err != nil {
+		for _, n := range c.nodes {
+			t.pool.Unpin(n.id, false)
+		}
+		c.nodes = nil
+		c.finished = true
+		return err
+	}
+	for i := range c.nodes {
+		s.level = append(s.level, bulkChild{low: c.leaves[i].low, id: c.ids[i]})
+	}
+	c.nodes = nil
+	c.finished = true
+	return nil
+}
+
+// buildIndexLevels builds the shared upper levels over the completed leaf
+// level, serially, using the same packing rule at every level and the same
+// chunked logging as the leaves. Separators are the children's low fences —
+// already suffix-truncated by the boundary rule — so index pages inherit
+// the short keys, and prefix compression (page.Content.Compress, set by
+// adoptNode under the bytewise comparator) densifies them further at
+// marshal time. Returns the root's page ID.
+func (s *bulkSession) buildIndexLevels() (page.PageID, error) {
+	t := s.t
+	lvl := uint8(0)
+	for len(s.level) > 1 {
+		lvl++
+		children := s.level
+		s.level = nil
+		fail := func(cur *node, err error) error {
+			if cur != nil {
+				t.pool.Unpin(cur.id, false)
+			}
+			s.unpinPending()
+			return err
+		}
+		cur, err := s.allocTracked(page.Content{
+			Kind: page.Index, Level: lvl,
+			Low:  []byte{},
+			Keys: [][]byte{}, Children: []page.PageID{},
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, ch := range children {
+			term := page.EntrySize(page.Index, len(ch.low), 0)
+			// Same shape as the leaf boundary rule: reserve len(low) for
+			// the high fence this node receives when it closes.
+			if len(cur.c.Keys) > 0 && cur.size()+term+len(ch.low) > s.target {
+				nxt, err := s.allocTracked(page.Content{
+					Kind: page.Index, Level: lvl,
+					Low:  ch.low,
+					Keys: [][]byte{}, Children: []page.PageID{},
+				})
+				if err != nil {
+					return 0, fail(cur, err)
+				}
+				cur.c.High = ch.low
+				cur.c.Right = nxt.id
+				if err := s.closeIndex(cur); err != nil {
+					return 0, fail(nxt, err)
+				}
+				cur = nxt
+			}
+			cur.c.Keys = append(cur.c.Keys, ch.low)
+			cur.c.Children = append(cur.c.Children, ch.id)
+		}
+		if err := s.closeIndex(cur); err != nil {
+			return 0, fail(nil, err)
+		}
+		if err := s.flushPending(); err != nil {
+			s.unpinPending()
+			return 0, err
+		}
+	}
+	s.rootLvl = lvl
+	return s.level[0].id, nil
+}
+
+// closeIndex files a completed index node, mirroring closeLeaf.
+func (s *bulkSession) closeIndex(n *node) error {
+	s.level = append(s.level, bulkChild{low: n.c.Low, id: n.id})
+	s.pending = append(s.pending, n)
+	if len(s.pending) >= s.chunk {
+		return s.flushPending()
 	}
 	return nil
 }

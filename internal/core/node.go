@@ -69,7 +69,7 @@ type route struct {
 	epoch uint64
 	dd    uint64
 	dead  bool
-	size  int // serialized size at publish time (under-utilization check)
+	size  int // logical (pre-compression) size at publish time (under-utilization check)
 
 	low, high []byte
 	right     page.PageID
@@ -89,7 +89,7 @@ func (n *node) publishRoute() {
 		epoch:    n.c.Epoch,
 		dd:       n.c.DD,
 		dead:     n.dead,
-		size:     n.size(),
+		size:     n.logicalSize(),
 		low:      n.c.Low,
 		high:     n.c.High,
 		right:    n.c.Right,
@@ -231,6 +231,13 @@ func (n *node) removeIndexTermAt(i int) {
 
 // size returns the marshaled byte size, the occupancy measure.
 func (n *node) size() int { return n.c.Size() }
+
+// logicalSize is size before fence-prefix compression: the occupancy
+// measure for the under-utilization policy. The policy must ignore
+// compression — a well-filled index page whose keys share a long fence
+// prefix marshals far below the threshold, and consolidating it would only
+// force an immediate re-split (and abort postings via D_X churn).
+func (n *node) logicalSize() int { return n.c.Size() + len(n.c.Keys)*n.c.PrefixLen() }
 
 // String renders a debug description; used by blinkdump and tests.
 func (n *node) String() string {

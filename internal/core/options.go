@@ -200,6 +200,14 @@ type Options struct {
 	// back to the normal traversal.
 	AppendFastPath FeatureMode
 
+	// BulkChunkPages is the number of pages grouped into one bulk-load
+	// chunk — the unit of WAL logging (one SMOBulkChunk record per chunk)
+	// and of hand-off to parallel builder goroutines. Zero means the
+	// default (64); the value is clamped down so the in-flight chunks of a
+	// parallel load always fit inside the buffer pool. Small values make
+	// good crash-test granularity; large values amortize log appends.
+	BulkChunkPages int
+
 	// Observability enables per-operation latency histograms and/or the
 	// SMO lifecycle trace ring (see obs.Config). Nil disables both: the
 	// instrumentation collapses to a nil-pointer check on the hot paths.

@@ -49,6 +49,12 @@ type RecoveryStats struct {
 	// LosersUndone is the number of unfinished transactions rolled back.
 	LosersUndone int
 
+	// BulkChunksSkipped counts bulk-load chunk records ignored because
+	// their session never reached its commit record: the load crashed
+	// mid-way, and skipping its chunks (images and allocations alike) is
+	// what makes a chunked-logging load all-or-nothing.
+	BulkChunksSkipped int
+
 	// CorruptPages counts checksum-failing page images detected during
 	// redo (torn writes the crash left behind); each was repaired from
 	// logged after-images. FullRedoRetries counts redo passes restarted
@@ -114,13 +120,13 @@ func (t *Tree) recover() (bool, error) {
 	}
 
 	// Checkpoint-bounded redo; fall back to full-log redo on a torn page.
-	err = t.redoPass(a.RedoRecords(), false)
+	err = t.redoPass(a.RedoRecords(), a.BulkCommitted, false)
 	if err == nil {
 		err = t.installRoot(root, false)
 	}
 	if errors.Is(err, errTornPage) {
 		t.recStats.FullRedoRetries++
-		if err = t.redoPass(recs, true); err == nil {
+		if err = t.redoPass(recs, a.BulkCommitted, true); err == nil {
 			err = t.installRoot(root, true)
 		}
 	}
@@ -152,11 +158,18 @@ func (t *Tree) recover() (bool, error) {
 
 // redoPass replays the redoable records in LSN order. full marks a
 // full-log pass, in which a torn page is unrepairable (a hard error)
-// rather than a reason to widen the redo window.
-func (t *Tree) redoPass(recs []*wal.Record, full bool) error {
+// rather than a reason to widen the redo window. bulkCommitted gates
+// SMOBulkChunk records: chunks of a session with no durable commit record
+// are from a load that crashed before its commit point and are skipped
+// entirely, preserving the load's all-or-nothing contract.
+func (t *Tree) redoPass(recs []*wal.Record, bulkCommitted map[uint64]bool, full bool) error {
 	for _, r := range recs {
 		switch r.Type {
 		case wal.TSMO:
+			if r.SMO == wal.SMOBulkChunk && !bulkCommitted[r.Txn] {
+				t.recStats.BulkChunksSkipped++
+				continue
+			}
 			if err := t.redoSMO(r); err != nil {
 				return err
 			}
@@ -171,11 +184,16 @@ func (t *Tree) redoPass(recs []*wal.Record, full bool) error {
 }
 
 // installRoot reads the recovered root and publishes it as the anchor. A
-// corrupt root during the bounded pass means its durable image was torn;
-// the full-log pass rewrites it from the grow/format SMO images.
+// corrupt — or missing — root during the bounded pass means the store fell
+// behind the checkpoint that bounded redo (torn write-back, or a store that
+// lost pages wholesale); the full-log pass rewrites it from the grow/format
+// SMO images.
 func (t *Tree) installRoot(root page.PageID, full bool) error {
 	raw, err := t.store.Read(root)
 	if err != nil {
+		if !full {
+			return errTornPage
+		}
 		return fmt.Errorf("blinktree: reading recovered root %d: %w", root, err)
 	}
 	rc, err := page.Unmarshal(raw)

@@ -112,6 +112,16 @@ func shortestSeparator(a, b []byte) []byte {
 
 // splitPoint picks the split position that most evenly divides the node's
 // serialized size, keeping at least one entry on each side.
+//
+// For index nodes the size-balanced position is only a starting point: an
+// index separator must equal the new right half's low fence exactly (a
+// truncated separator would misroute keys interior to the child left of the
+// cut), so instead of shortening the separator itself the split slides the
+// cut within a window of ±nk/8 entries around the balanced midpoint to the
+// position whose existing key is shortest. The chosen key becomes both
+// fences and the separator posted one level up, so a short pick shrinks
+// every level above — the index-level analogue of leaf suffix truncation,
+// and sound under any comparator because the separator is an existing key.
 func (t *Tree) splitPoint(n *node) int {
 	total := 0
 	sizes := make([]int, len(n.c.Keys))
@@ -125,18 +135,52 @@ func (t *Tree) splitPoint(n *node) int {
 		sizes[i] = s
 		total += s
 	}
+	nk := len(n.c.Keys)
+	mid := nk / 2
 	half := total / 2
 	acc := 0
 	for i, s := range sizes {
 		acc += s
 		if acc >= half {
-			if i+1 >= len(n.c.Keys) {
-				return len(n.c.Keys) - 1
+			mid = i + 1
+			if mid >= nk {
+				mid = nk - 1
 			}
-			return i + 1
+			break
 		}
 	}
-	return len(n.c.Keys) / 2
+	if n.isLeaf() {
+		return mid
+	}
+	// Shortest-fence window selection for index nodes.
+	w := nk / 8
+	if w < 1 {
+		w = 1
+	}
+	lo, hi := mid-w, mid+w
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > nk-1 {
+		hi = nk - 1
+	}
+	best := mid
+	for i := lo; i <= hi; i++ {
+		kl := len(n.c.Keys[i])
+		bl := len(n.c.Keys[best])
+		if kl < bl || (kl == bl && abs(i-mid) < abs(best-mid)) {
+			best = i
+		}
+	}
+	return best
+}
+
+// abs returns the absolute value of x.
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // logSplit writes the single atomic SMO record for a half split and stamps
@@ -171,15 +215,24 @@ func (t *Tree) logSplit(orig, right *node) error {
 }
 
 // mergedSize returns the serialized size of left after absorbing victim's
-// entries, high fence and side pointer (A.5 step 4's fit check).
+// entries, high fence and side pointer (A.5 step 4's fit check). It must be
+// exact, not an estimate: with fence-key prefix compression the merge
+// extends left's key space to victim's High, which can SHRINK the shared
+// fence prefix and make every key on the page cost more bytes than before —
+// an additive estimate would under-count and let Marshal overflow the page.
+// Building the merged shape and asking Size() accounts for the new prefix.
 func (t *Tree) mergedSize(left, victim *node) int {
-	s := left.size() - len(left.c.High) + len(victim.c.High)
-	for i, k := range victim.c.Keys {
-		if victim.isLeaf() {
-			s += page.EntrySize(page.Leaf, len(k), len(victim.c.Vals[i]))
-		} else {
-			s += page.EntrySize(page.Index, len(k), 0)
-		}
+	m := page.Content{
+		Kind:     left.c.Kind,
+		Low:      left.c.Low,
+		High:     victim.c.High,
+		Compress: left.c.Compress,
 	}
-	return s
+	m.Keys = make([][]byte, 0, len(left.c.Keys)+len(victim.c.Keys))
+	m.Keys = append(append(m.Keys, left.c.Keys...), victim.c.Keys...)
+	if left.isLeaf() {
+		m.Vals = make([][]byte, 0, len(left.c.Vals)+len(victim.c.Vals))
+		m.Vals = append(append(m.Vals, left.c.Vals...), victim.c.Vals...)
+	}
+	return m.Size()
 }

@@ -110,3 +110,33 @@ func TestSplitPointBalancesBySize(t *testing.T) {
 func pageLeafContent() page.Content {
 	return page.Content{Kind: page.Leaf, Low: []byte{}, Keys: [][]byte{}, Vals: [][]byte{}}
 }
+
+func TestSplitPointIndexPrefersShortFence(t *testing.T) {
+	tr := newTestTree(t, Options{PageSize: 4096})
+	c := page.Content{Kind: page.Index, Level: 1, Low: []byte{}}
+	// 33 uniform long keys, with one short key just off the size midpoint.
+	// The window (±nk/8 around the midpoint) must pick the short key: it
+	// becomes the separator posted to the parent.
+	nk := 33
+	short := nk/2 + 2
+	for i := 0; i < nk; i++ {
+		var k []byte
+		if i == short {
+			k = []byte{byte('a' + i)}
+		} else {
+			k = bytes.Repeat([]byte{byte('a' + i%26)}, 40)
+		}
+		c.Keys = append(c.Keys, k)
+		c.Children = append(c.Children, page.PageID(100+i))
+	}
+	n := newNode(1, c)
+	if got := tr.splitPoint(n); got != short {
+		t.Fatalf("splitPoint = %d, want the short fence at %d", got, short)
+	}
+	// With no short key in the window, the choice stays near the midpoint.
+	n.c.Keys[short] = bytes.Repeat([]byte{'z'}, 40)
+	mid := tr.splitPoint(n)
+	if abs(mid-nk/2) > nk/8+1 {
+		t.Fatalf("splitPoint = %d strayed outside the window around %d", mid, nk/2)
+	}
+}

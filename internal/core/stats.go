@@ -78,6 +78,10 @@ type Stats struct {
 	// Right-edge append fast path (appendfast.go).
 	AppendFastHits   uint64 // inserts served by the cached rightmost leaf
 	AppendFastMisses uint64 // fast-path attempts that fell back to traversal
+
+	// Bulk load (bulkload.go).
+	BulkLoadPages  uint64 // pages built by bulk loads (leaves + index nodes)
+	BulkLoadChunks uint64 // chunks dispatched/logged by bulk loads
 }
 
 // counters is the atomic backing for Stats.
@@ -100,6 +104,7 @@ type counters struct {
 	combinePublishes, combineDrained                 atomic.Uint64
 	combineRetries, combineBatches                   atomic.Uint64
 	appendFastHits, appendFastMisses                 atomic.Uint64
+	bulkLoadPages, bulkLoadChunks                    atomic.Uint64
 }
 
 // snapshot copies the counters into a Stats value.
@@ -153,5 +158,7 @@ func (c *counters) snapshot() Stats {
 		CombineBatches:    c.combineBatches.Load(),
 		AppendFastHits:    c.appendFastHits.Load(),
 		AppendFastMisses:  c.appendFastMisses.Load(),
+		BulkLoadPages:     c.bulkLoadPages.Load(),
+		BulkLoadChunks:    c.bulkLoadChunks.Load(),
 	}
 }

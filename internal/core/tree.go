@@ -139,6 +139,11 @@ func (cd codec) Unmarshal(data []byte) (buffer.Object, error) {
 		return nil, err
 	}
 	n := &node{id: c.ID, c: *c}
+	// Prefix compression is a property of the tree's comparator, not of the
+	// stored image: a bytewise tree (re)compresses index pages on write-out,
+	// a custom-comparator tree never does (its key order need not preserve
+	// byte prefixes). Unmarshal already reconstructed full keys either way.
+	n.c.Compress = cd.t.bytewise
 	n.latch.SetRecorder(&cd.t.latchRec)
 	// The node is private until the pool publishes the frame; optimistic
 	// readers arriving later need the routing snapshot in place.
@@ -333,16 +338,28 @@ func (t *Tree) allocNode(c page.Content) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.log == nil {
-		c.Epoch = t.epochGen.Add(1)
-	}
-	n := newNode(id, c)
-	n.latch.SetRecorder(&t.latchRec)
-	if err := t.pool.Insert(id, n); err != nil {
+	n, err := t.adoptNode(id, c)
+	if err != nil {
 		derr := t.store.Deallocate(id)
 		if derr != nil {
 			return nil, errors.Join(err, derr)
 		}
+		return nil, err
+	}
+	return n, nil
+}
+
+// adoptNode registers a node for an already-allocated page ID, returned
+// pinned. Bulk load leases page-ID batches from the allocator up front and
+// adopts them here, so builder goroutines never touch the allocator lock.
+func (t *Tree) adoptNode(id page.PageID, c page.Content) (*node, error) {
+	if t.log == nil {
+		c.Epoch = t.epochGen.Add(1)
+	}
+	c.Compress = t.bytewise
+	n := newNode(id, c)
+	n.latch.SetRecorder(&t.latchRec)
+	if err := t.pool.Insert(id, n); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -619,7 +636,7 @@ func (t *Tree) validateEntry(key, val []byte) error {
 // method of [15] also requires pages to be empty."); the paper's method
 // consolidates at any utilization bound.
 func (t *Tree) underutilized(n *node) bool {
-	return t.underutilizedRaw(n.size(), len(n.c.Keys))
+	return t.underutilizedRaw(n.logicalSize(), len(n.c.Keys))
 }
 
 // underutilizedRaw is the underutilized policy on raw numbers, shared with

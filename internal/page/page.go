@@ -83,6 +83,18 @@ type Content struct {
 	Low  []byte
 	High []byte
 
+	// Compress requests fence-key prefix compression when this content is
+	// marshaled (index nodes only). Under bytewise key ordering every key k
+	// in an index node satisfies Low <= k < High, which forces k to carry
+	// the common byte prefix of Low and High; Marshal stores keys with that
+	// prefix stripped and Unmarshal reconstructs them, so the compression
+	// is invisible above this package. The field is volatile intent, not
+	// serialized state: the tree sets it only under the default bytewise
+	// comparator (a custom comparator does not guarantee the prefix
+	// property) and Unmarshal sets it when the image's flag bit says the
+	// keys were stored stripped.
+	Compress bool
+
 	// Keys are the record keys (leaf) or separator keys (index), sorted.
 	Keys [][]byte
 	// Vals holds the record values; used only when Kind == Leaf.
@@ -114,9 +126,13 @@ type Content struct {
 //	               u16 keyLen, key, then (leaf) u16 valLen, val
 //	                                   or (index) u64 child
 const (
-	headerSize  = 58
-	magic       = "BLNK"
+	headerSize = 58
+	magic      = "BLNK"
+	// flagHasHigh distinguishes an absent high fence (+inf) from an empty
+	// one; flagPrefix marks an index page whose keys are stored with the
+	// common prefix of Low and High stripped (see Content.Compress).
 	flagHasHigh = 1 << 0
+	flagPrefix  = 1 << 1
 	maxEntryLen = 0xFFFF
 	offCRC      = 4
 	offKind     = 8
@@ -144,9 +160,35 @@ var (
 	ErrCorrupt = errors.New("page: corrupt page image")
 )
 
+// PrefixLen returns the number of leading key bytes elided per key when c
+// is marshaled: the length of the common byte prefix of Low and High when
+// compression is requested and applicable, zero otherwise. Compression needs
+// a finite key space on both sides — a node with High == nil (+inf) or an
+// empty Low (-inf) has no shared prefix to exploit.
+func (c *Content) PrefixLen() int {
+	if !c.Compress || c.Kind != Index || c.High == nil || len(c.Low) == 0 {
+		return 0
+	}
+	return commonPrefix(c.Low, c.High)
+}
+
+// commonPrefix returns the length of the longest common prefix of a and b.
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
 // Size returns the number of bytes c occupies when marshaled. The tree uses
 // this for occupancy decisions (split when full, consolidate when
-// under-utilized).
+// under-utilized). With prefix compression in effect the size reflects the
+// stripped keys, so occupancy decisions see the real on-page density.
 func (c *Content) Size() int {
 	n := headerSize + len(c.Low) + len(c.High)
 	for i, k := range c.Keys {
@@ -157,7 +199,7 @@ func (c *Content) Size() int {
 			n += 8
 		}
 	}
-	return n
+	return n - len(c.Keys)*c.PrefixLen()
 }
 
 // EntrySize returns the marshaled size of one entry with the given key and
@@ -179,6 +221,19 @@ func Marshal(c *Content, pageSize int) ([]byte, error) {
 	if need > pageSize {
 		return nil, fmt.Errorf("%w: need %d, page %d", ErrTooLarge, need, pageSize)
 	}
+	cp := c.PrefixLen()
+	if cp > 0 {
+		// Every key must carry the prefix: guaranteed by the fence
+		// invariant Low <= k < High under bytewise ordering, which is the
+		// only ordering the tree sets Compress under. A violation here
+		// means the caller compressed under a comparator that does not
+		// preserve the prefix property.
+		for i, k := range c.Keys {
+			if len(k) < cp || string(k[:cp]) != string(c.Low[:cp]) {
+				return nil, fmt.Errorf("page: key %d lacks fence prefix under compression", i)
+			}
+		}
+	}
 	buf := make([]byte, pageSize)
 	copy(buf[0:4], magic)
 	buf[offKind] = byte(c.Kind)
@@ -186,6 +241,9 @@ func Marshal(c *Content, pageSize int) ([]byte, error) {
 	var flags uint16
 	if c.High != nil {
 		flags |= flagHasHigh
+	}
+	if cp > 0 {
+		flags |= flagPrefix
 	}
 	binary.LittleEndian.PutUint16(buf[offFlags:], flags)
 	binary.LittleEndian.PutUint64(buf[offID:], uint64(c.ID))
@@ -201,6 +259,7 @@ func Marshal(c *Content, pageSize int) ([]byte, error) {
 	p += copy(buf[p:], c.Low)
 	p += copy(buf[p:], c.High)
 	for i, k := range c.Keys {
+		k = k[cp:] // stored stripped when compression is in effect (cp == 0 otherwise)
 		binary.LittleEndian.PutUint16(buf[p:], uint16(len(k)))
 		p += 2
 		p += copy(buf[p:], k)
@@ -262,6 +321,13 @@ func Unmarshal(buf []byte) (*Content, error) {
 	} else if highLen != 0 {
 		return nil, fmt.Errorf("%w: high length without flag", ErrCorrupt)
 	}
+	cp := 0
+	if flags&flagPrefix != 0 {
+		c.Compress = true
+		if cp = c.PrefixLen(); cp == 0 {
+			return nil, fmt.Errorf("%w: prefix flag on incompressible page", ErrCorrupt)
+		}
+	}
 	c.Keys = make([][]byte, 0, nkeys)
 	if c.Kind == Leaf {
 		c.Vals = make([][]byte, 0, nkeys)
@@ -274,8 +340,17 @@ func Unmarshal(buf []byte) (*Content, error) {
 		}
 		klen := int(binary.LittleEndian.Uint16(buf[p:]))
 		p += 2
-		k, err := take(klen)
-		if err != nil {
+		var k []byte
+		if cp > 0 {
+			// Reconstruct the full key: elided fence prefix + stored tail.
+			if p+klen > len(buf) {
+				return nil, fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, p)
+			}
+			k = make([]byte, cp+klen)
+			copy(k, c.Low[:cp])
+			copy(k[cp:], buf[p:p+klen])
+			p += klen
+		} else if k, err = take(klen); err != nil {
 			return nil, err
 		}
 		c.Keys = append(c.Keys, k)
@@ -337,7 +412,7 @@ func (c *Content) validate() error {
 func (c *Content) Clone() *Content {
 	d := &Content{
 		ID: c.ID, Kind: c.Kind, Level: c.Level, LSN: c.LSN,
-		Right: c.Right, DD: c.DD, Epoch: c.Epoch,
+		Right: c.Right, DD: c.DD, Epoch: c.Epoch, Compress: c.Compress,
 	}
 	d.Low = append([]byte(nil), c.Low...)
 	if c.High != nil {

@@ -80,6 +80,18 @@ type Config struct {
 	// every combining crash point (batched WAL appends included) lands at
 	// a deterministic stream position.
 	Combining bool
+
+	// BulkLoad seeds the tree through the chunked bulk loader (half the key
+	// domain, ascending) before the random workload starts, with
+	// BulkChunkPages forced low so the load spans many SMOBulkChunk records.
+	// The sweep then verifies the load's all-or-nothing contract at every
+	// crash point inside it: either every loaded record survives recovery
+	// (the commit record was durable) or none does — chunk records without
+	// a commit are skipped wholesale. The load runs serially (parallel=1):
+	// worker goroutines would make the persistence-operation stream
+	// nondeterministic across replays, and the chunked logging under test
+	// is identical either way.
+	BulkLoad bool
 }
 
 func (c Config) withDefaults() Config {
@@ -244,6 +256,11 @@ func (d *driver) run() error {
 }
 
 func (d *driver) runSteps() error {
+	if d.cfg.BulkLoad {
+		if err := d.seedBulkLoad(); err != nil || d.disk.Crashed() {
+			return err
+		}
+	}
 	for i := 0; i < d.cfg.Steps; i++ {
 		if d.disk.Crashed() {
 			return nil
@@ -307,6 +324,43 @@ func (d *driver) step(i int) error {
 		}
 		d.sh.acked = len(d.sh.groups)
 		return nil
+	}
+}
+
+// seedBulkLoad runs the chunked bulk loader over the even half of the key
+// domain and records it as ONE shadow group: the load is atomic, so its
+// records appear after recovery all together or not at all. On success the
+// loader's completion checkpoint makes the group acknowledged-durable; on a
+// power cut mid-load the group sits in the maybe-visible tail (the commit
+// record may or may not have been appended before the cut), which the
+// prefix check accommodates — but only as a unit, never partially.
+func (d *driver) seedBulkLoad() error {
+	g := group{}
+	for i := 0; i < d.cfg.Keys; i += 2 {
+		g.ops = append(g.ops, simOp{
+			key: fmt.Sprintf("key-%04d", i),
+			val: fmt.Sprintf("load-%04d-%024d", i, 0),
+		})
+	}
+	i := 0
+	next := func() ([]byte, []byte, bool) {
+		if i >= len(g.ops) {
+			return nil, nil, false
+		}
+		op := g.ops[i]
+		i++
+		return []byte(op.key), []byte(op.val), true
+	}
+	err := d.tree.BulkLoadParallel(next, 0.85, 1)
+	d.sh.groups = append(d.sh.groups, g)
+	switch {
+	case err == nil:
+		d.sh.acked = len(d.sh.groups)
+		return nil
+	case d.crashed(err):
+		return nil
+	default:
+		return fmt.Errorf("bulk load: %w", err)
 	}
 }
 
@@ -412,6 +466,11 @@ func newTree(cfg Config, disk *storage.SimDisk) (*core.Tree, error) {
 		LogDevice:     disk.WAL(),
 		Durability:    cfg.Durability,
 		FlushInterval: -1,
+	}
+	if cfg.BulkLoad {
+		// One leaf per chunk record: maximizes distinct crash points inside
+		// the chunked-logging path.
+		opts.BulkChunkPages = 1
 	}
 	if cfg.Combining {
 		// CombineAlways publishes every eligible operation without trying

@@ -61,6 +61,25 @@ func TestCrashPointsCombining(t *testing.T) {
 	}
 }
 
+// TestCrashPointsBulkLoad seeds the workload through the chunked bulk
+// loader (one leaf per chunk record) and enumerates every crash point,
+// including all of those inside the load itself. Zero violations means the
+// load is all-or-nothing at every boundary: uncommitted chunk records are
+// skipped wholesale on recovery, and the committed load survives entire.
+func TestCrashPointsBulkLoad(t *testing.T) {
+	rep, err := Run(Config{Seed: 3, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bulkload: %s", rep)
+	if rep.CrashPoints < 200 {
+		t.Fatalf("workload too small: %d crash points, want >= 200", rep.CrashPoints)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
 // TestCrashloopFull is the nightly-depth sweep: multiple seeds, exhaustive
 // stride, all fault modes. Gated behind BLINKTREE_CRASHLOOP because it
 // replays the workload a few thousand times.
@@ -70,13 +89,17 @@ func TestCrashloopFull(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 4; seed++ {
 		for _, torn := range []bool{false, true} {
-			name := fmt.Sprintf("seed=%d/torn=%v", seed, torn)
+			// Alternate seeding mode so the full sweep also covers the
+			// chunked bulk-load path under every fault model.
+			bulk := seed%2 == 0
+			name := fmt.Sprintf("seed=%d/torn=%v/bulk=%v", seed, torn, bulk)
 			t.Run(name, func(t *testing.T) {
 				rep, err := Run(Config{
 					Seed:           seed,
 					Steps:          220,
 					TornPageWrites: torn,
 					TornWALTail:    torn,
+					BulkLoad:       bulk,
 				})
 				if err != nil {
 					t.Fatal(err)

@@ -57,6 +57,31 @@ func (s *MemStore) Allocate() (page.PageID, error) {
 	return id, nil
 }
 
+// AllocateBatch implements BatchAllocator: n fresh pages under one lock
+// acquisition.
+func (s *MemStore) AllocateBatch(n int) ([]page.PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]page.PageID, 0, n)
+	for i := 0; i < n; i++ {
+		var id page.PageID
+		if f := len(s.free); f > 0 {
+			id = s.free[f-1]
+			s.free = s.free[:f-1]
+		} else {
+			id = s.next
+			s.next++
+		}
+		s.pages[id] = make([]byte, s.pageSize)
+		s.allocs++
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 // EnsureAllocated implements Store.
 func (s *MemStore) EnsureAllocated(id page.PageID) error {
 	s.mu.Lock()

@@ -61,6 +61,37 @@ type Store interface {
 	Close() error
 }
 
+// BatchAllocator is an optional Store capability: reserving a run of fresh
+// pages under one lock acquisition. Bulk load leases each builder goroutine
+// its own page-ID batch up front so the workers never contend on the
+// allocator — the shared-lock hot spot a page-at-a-time load would hit.
+type BatchAllocator interface {
+	// AllocateBatch reserves n fresh pages and returns their IDs.
+	AllocateBatch(n int) ([]page.PageID, error)
+}
+
+// AllocateBatch reserves n pages from s, using its BatchAllocator fast path
+// when present and falling back to n single allocations otherwise (wrappers
+// like the fault-injecting store keep their per-call semantics that way).
+// On a partial failure the pages already reserved are released.
+func AllocateBatch(s Store, n int) ([]page.PageID, error) {
+	if ba, ok := s.(BatchAllocator); ok {
+		return ba.AllocateBatch(n)
+	}
+	ids := make([]page.PageID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			for _, got := range ids {
+				_ = s.Deallocate(got)
+			}
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 // Stats counts store operations.
 type Stats struct {
 	Reads       uint64

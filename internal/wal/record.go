@@ -128,6 +128,18 @@ const (
 	// page empty prior to deletion (§1.3 point 2: "Extra updates lead to
 	// extra logging"). The paper's method never writes this record.
 	SMODrainMark
+	// SMOBulkChunk carries one chunk of a bulk load: the after-images and
+	// allocations of a contiguous run of freshly built nodes. Chunk
+	// records share a session ID in Txn and are inert on their own —
+	// recovery replays them only if a SMOBulkCommit with the same session
+	// ID made it into the log, which is what keeps a multi-record load
+	// all-or-nothing.
+	SMOBulkChunk
+	// SMOBulkCommit completes a bulk-load session: it names the new root,
+	// deallocates the old one, and its presence in the durable log is the
+	// commit point that makes every SMOBulkChunk of the same session
+	// (matched via Txn) redoable.
+	SMOBulkCommit
 )
 
 // String returns a short name for the SMO kind.
@@ -147,6 +159,10 @@ func (k SMOKind) String() string {
 		return "format"
 	case SMODrainMark:
 		return "drain-mark"
+	case SMOBulkChunk:
+		return "bulk-chunk"
+	case SMOBulkCommit:
+		return "bulk-commit"
 	default:
 		return fmt.Sprintf("smo(%d)", uint8(k))
 	}

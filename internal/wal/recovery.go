@@ -16,19 +16,29 @@ type Analysis struct {
 	// MaxTxn is the highest transaction ID seen; the transaction manager
 	// resumes numbering above it.
 	MaxTxn uint64
+	// BulkCommitted holds the session IDs (Record.Txn) of bulk loads whose
+	// SMOBulkCommit record is in the durable log. SMOBulkChunk records of
+	// any other session are dead weight from a load that crashed before
+	// its commit point: redo must skip them entirely — images AND
+	// allocations — so the abandoned pages stay unallocated and invisible.
+	BulkCommitted map[uint64]bool
 }
 
 // Analyze performs the analysis pass over the durable log.
 func Analyze(records []*Record) *Analysis {
 	a := &Analysis{
-		Records:   records,
-		RedoStart: 1,
-		Committed: make(map[uint64]bool),
-		Losers:    make(map[uint64]LSN),
+		Records:       records,
+		RedoStart:     1,
+		Committed:     make(map[uint64]bool),
+		Losers:        make(map[uint64]LSN),
+		BulkCommitted: make(map[uint64]bool),
 	}
 	for _, r := range records {
 		if r.Txn > a.MaxTxn {
 			a.MaxTxn = r.Txn
+		}
+		if r.Type == TSMO && r.SMO == SMOBulkCommit {
+			a.BulkCommitted[r.Txn] = true
 		}
 		switch r.Type {
 		case TCheckpoint:
