@@ -35,6 +35,15 @@
 //	                                    #     unless zipf holds 25% of uniform
 //	                                    #     and combining-on holds 90% of
 //	                                    #     combining-off under zipf
+//	blinkbench -remote 127.0.0.1:6380   # drive a running blinkd server
+//	blinkbench -remote :6380 -conns 16 -pipeline 32 -dist zipf -txnevery 10
+//	                                    # ... 16 pipelined connections, skewed
+//	                                    #     keys, every 10th op transactional
+//	blinkbench -net                     # embedded-vs-networked sweep (E16)
+//	blinkbench -net -out BENCH_net.json -netgate 2.0
+//	                                    # ... persist the report and fail
+//	                                    #     unless pipelined >= 2x unpipelined
+//	                                    #     at 16 connections
 package main
 
 import (
@@ -84,6 +93,19 @@ func main() {
 		loadParallel = flag.String("parallel", "1,8", "with -load: comma-separated bulk-load fan-outs (1 = serial baseline)")
 		loadSpeedup  = flag.Float64("speedup", 0, "with -load: exit nonzero unless the highest fan-out loads at least speedup x the serial rows/s at the smallest tier (0 disables)")
 
+		remote    = flag.String("remote", "", "drive a running blinkd server at this address instead of running experiments")
+		conns     = flag.Int("conns", 4, "with -remote: concurrent client connections")
+		pipeline  = flag.Int("pipeline", 1, "with -remote: commands kept in flight per connection (1 = strict request/response)")
+		remoteOps = flag.Int("remoteops", 10000, "with -remote: total measured operations")
+		dist      = flag.String("dist", "uniform", "with -remote: key distribution (uniform, zipf, sequential, hotspot, moving-hotspot, seq-append)")
+		txnEvery  = flag.Int("txnevery", 0, "with -remote: wrap every Nth operation in BEGIN/COMMIT (0 disables)")
+
+		netSweep    = flag.Bool("net", false, "run the embedded-vs-networked comparison (E16) instead of experiments")
+		netConns    = flag.String("netconns", "1,4,16,64", "with -net: comma-separated connection counts")
+		netPipeline = flag.String("netpipeline", "1,32", "with -net: comma-separated pipeline depths")
+		netOps      = flag.Int("netops", 0, "with -net: measured operations per cell (0 = default 20000)")
+		netGate     = flag.Float64("netgate", 0, "with -net: exit nonzero unless pipelined throughput >= netgate x unpipelined at 16 connections (0 disables)")
+
 		skew       = flag.Bool("skew", false, "run the skew scenario matrix instead of experiments")
 		skewThread = flag.String("skewthreads", "1,4,8,16", "with -skew: comma-separated goroutine counts")
 		skewOps    = flag.Int("skewops", 0, "with -skew: measured operations per cell (0 = default 20000)")
@@ -116,6 +138,22 @@ func main() {
 	if *skew {
 		if err := skewSweep(os.Stdout, *skewThread, *skewOps, *out, *skewFrac, *combRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "skew sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *remote != "" {
+		if err := remoteRun(os.Stdout, *remote, *conns, *pipeline, *remoteOps, *dist, *txnEvery); err != nil {
+			fmt.Fprintf(os.Stderr, "remote run: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *netSweep {
+		if err := netRun(os.Stdout, *netConns, *netPipeline, *netOps, *out, *netGate); err != nil {
+			fmt.Fprintf(os.Stderr, "net sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -375,6 +413,107 @@ func skewSweep(w io.Writer, threadsCSV string, ops int, outPath string, skewFrac
 			return err
 		}
 		fmt.Fprintf(w, "combining gate ok: %s\n", desc)
+	}
+	return nil
+}
+
+// remoteRun drives a running blinkd server with the configured connection
+// count, pipeline depth and key distribution, and prints the aggregate
+// throughput. Every workload generator the embedded runner supports drives
+// the server unchanged; a 50/30/15/5 insert/search/delete/scan mix keeps
+// all four data verbs under load.
+func remoteRun(w io.Writer, addr string, conns, pipeline, ops int, distName string, txnEvery int) error {
+	d, err := bench.ParseDist(distName)
+	if err != nil {
+		return err
+	}
+	cfg := bench.RemoteConfig{
+		Addr:     addr,
+		Conns:    conns,
+		Pipeline: pipeline,
+		Ops:      ops,
+		TxnEvery: txnEvery,
+		Spec: bench.Spec{
+			Dist: d,
+			Mix:  bench.Mix{Insert: 50, Search: 30, Delete: 15, Scan: 5},
+		},
+	}
+	res, err := bench.RunRemote(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== remote: %s, dist %s, txnevery %d ==\n", addr, d, txnEvery)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "conns\tpipeline\tops\telapsed\tops/s\terrors\taborts")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%.0f\t%d\t%d\n",
+		res.Conns, res.Pipeline, res.Ops,
+		time.Duration(res.ElapsedMS*float64(time.Millisecond)).Round(time.Millisecond),
+		res.Throughput, res.Errors, res.Aborts)
+	tw.Flush()
+	if res.Errors > 0 {
+		return fmt.Errorf("%d unexpected error replies", res.Errors)
+	}
+	return nil
+}
+
+// netRun runs the embedded-vs-networked comparison (E16), prints the cells
+// as a table, optionally persists the JSON report (BENCH_net.json) and
+// applies the pipelining gate at 16 connections.
+func netRun(w io.Writer, connsCSV, pipelineCSV string, ops int, outPath string, gate float64) error {
+	cfg := bench.NetConfig{Ops: ops}
+	for _, s := range strings.Split(connsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -netconns entry %q", s)
+		}
+		cfg.Conns = append(cfg.Conns, n)
+	}
+	for _, s := range strings.Split(pipelineCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -netpipeline entry %q", s)
+		}
+		cfg.Pipelines = append(cfg.Pipelines, n)
+	}
+
+	rep, err := bench.RunNet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== embedded vs networked: %d keys, %d preloaded, %d ops/cell ==\n",
+		rep.Config.KeySpace, rep.Config.Preload, rep.Config.Ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tconns\tpipeline\tops\tops/s\terrors")
+	for _, r := range rep.Results {
+		pipe := "-"
+		if r.Mode == "net" {
+			pipe = strconv.Itoa(r.Pipeline)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.0f\t%d\n",
+			r.Mode, r.Conns, pipe, r.Ops, r.Throughput, r.Errors)
+	}
+	tw.Flush()
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	if gate > 0 {
+		desc, err := rep.GatePipeline(16, gate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pipeline gate ok: %s\n", desc)
 	}
 	return nil
 }

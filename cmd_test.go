@@ -1,12 +1,20 @@
 package blinktree_test
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"blinktree"
+	"blinktree/internal/resp"
 )
 
 // TestCommandLineTools exercises blinkbench (figures mode), blinkcheck and
@@ -79,6 +87,176 @@ func TestCommandLineTools(t *testing.T) {
 			t.Fatalf("%s -version output:\n%s", tool, out)
 		}
 	}
+}
+
+// TestBlinkdEndToEnd boots a real blinkd binary on a durable store, drives
+// every protocol verb through the resp client, scrapes the admin port, then
+// sends SIGTERM and asserts a clean-shutdown exit 0 — after which the store
+// must reopen with the committed data intact.
+func TestBlinkdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd tools are slow to build; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "blinkd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/blinkd").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/blinkd: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+		"-path", dir, "-pagesize", "4096", "-durability", "group")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The banner lines carry the dynamically chosen ports.
+	var addr, adminAddr string
+	sc := bufio.NewScanner(stderr)
+	for (addr == "" || adminAddr == "") && sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, " listening on "); ok {
+			addr, _, _ = strings.Cut(rest, " ")
+		}
+		if _, rest, ok := strings.Cut(line, " admin on http://"); ok {
+			adminAddr, _, _ = strings.Cut(rest, "/")
+		}
+	}
+	if addr == "" || adminAddr == "" {
+		t.Fatalf("blinkd banner did not announce addresses (addr=%q admin=%q)", addr, adminAddr)
+	}
+	var rest bytes.Buffer
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+	}()
+
+	c, err := resp.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get([]byte("k1")); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("GET k1 = %q, %v, %v", v, ok, err)
+	}
+	if del, err := c.Del([]byte("k1")); err != nil || !del {
+		t.Fatalf("DEL k1 = %v, %v", del, err)
+	}
+	// A pipelined transaction: BEGIN, two SETs, COMMIT in one flush.
+	for _, args := range [][]string{
+		{"BEGIN"}, {"SET", "txn-a", "1"}, {"SET", "txn-b", "2"}, {"COMMIT"},
+	} {
+		if err := c.SendStr(args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rep, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.IsError() {
+			t.Fatalf("txn pipeline reply %d: %v", i, rep.Err())
+		}
+	}
+	rep, err := c.DoStr("SCAN", "txn-", "txn-zzz", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != resp.KindArray || len(rep.Array) != 4 {
+		t.Fatalf("SCAN reply: kind=%v len=%d", rep.Kind, len(rep.Array))
+	}
+	rep, err = c.DoStr("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := string(rep.Bulk)
+	for _, want := range []string{"server:blinkd", "txns_committed:1", "commands_set:"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+
+	// Admin port: Prometheus series for both the tree and the server.
+	body := httpGet(t, fmt.Sprintf("http://%s/metrics?format=prometheus", adminAddr))
+	for _, want := range []string{"blinktree_ops_total", "blinktree_server_connections", `blinktree_server_commands_total{verb="SET"}`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("admin metrics missing %q", want)
+		}
+	}
+	if body := httpGet(t, fmt.Sprintf("http://%s/healthz", adminAddr)); !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %q", body)
+	}
+
+	// SIGTERM must drain and exit 0 with a clean-shutdown banner.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		killed = true
+		if err != nil {
+			t.Fatalf("blinkd exit after SIGTERM: %v\nstderr:\n%s", err, rest.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("blinkd did not exit within 60s of SIGTERM")
+	}
+	<-drained
+	if !strings.Contains(rest.String(), "clean shutdown") {
+		t.Fatalf("stderr missing clean-shutdown banner:\n%s", rest.String())
+	}
+
+	// The committed transaction must survive the restart boundary.
+	tr, err := blinktree.Open(blinktree.Options{Path: dir, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if v, err := tr.Get([]byte("txn-a")); err != nil || string(v) != "1" {
+		t.Fatalf("after restart Get(txn-a) = %q, %v", v, err)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	res, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 // TestSpanTraceEndToEnd runs blinkbench with span sampling, captures the

@@ -1,9 +1,11 @@
 package blinktree_test
 
 import (
+	"bufio"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
 	"strings"
 	"testing"
 )
@@ -16,7 +18,7 @@ import (
 // codebase lives in godoc; an undocumented exported symbol is a contract
 // nobody can rely on.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/wal", "internal/storage", "internal/sim"} {
+	for _, dir := range []string{".", "internal/wal", "internal/storage", "internal/sim", "internal/resp", "internal/server"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
 		if err != nil {
@@ -41,6 +43,96 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestServerVerbsDocumented cross-checks the server's wire-protocol surface
+// against its specification: every verb registered in the dispatch table
+// (the `verbs` map literal in internal/server/server.go) must have a
+// `### VERB` section in PROTOCOL.md, and PROTOCOL.md must not document a
+// verb the server does not implement. A verb that exists only in code is an
+// undocumented protocol; one that exists only in the spec is vaporware.
+func TestServerVerbsDocumented(t *testing.T) {
+	registered := dispatchTableVerbs(t)
+	documented := protocolDocVerbs(t)
+	for v := range registered {
+		if !documented[v] {
+			t.Errorf("verb %s is in the server dispatch table but has no `### %s` section in PROTOCOL.md", v, v)
+		}
+	}
+	for v := range documented {
+		if !registered[v] {
+			t.Errorf("PROTOCOL.md documents `### %s` but the server dispatch table has no such verb", v)
+		}
+	}
+	if len(registered) == 0 || len(documented) == 0 {
+		t.Fatalf("found %d registered and %d documented verbs; the lint is parsing nothing", len(registered), len(documented))
+	}
+}
+
+// dispatchTableVerbs parses internal/server/server.go and returns the string
+// keys of the `verbs` map composite literal.
+func dispatchTableVerbs(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/server/server.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, decl := range f.Decls {
+		d, ok := decl.(*ast.GenDecl)
+		if !ok || d.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range d.Specs {
+			s, ok := spec.(*ast.ValueSpec)
+			if !ok || len(s.Names) != 1 || s.Names[0].Name != "verbs" || len(s.Values) != 1 {
+				continue
+			}
+			lit, ok := s.Values[0].(*ast.CompositeLit)
+			if !ok {
+				t.Fatalf("verbs is not a composite literal")
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.BasicLit)
+				if !ok || key.Kind != token.STRING {
+					t.Fatalf("verbs key %v is not a string literal", kv.Key)
+				}
+				out[strings.Trim(key.Value, `"`)] = true
+			}
+		}
+	}
+	return out
+}
+
+// protocolDocVerbs returns the set of `### VERB` headings in PROTOCOL.md.
+func protocolDocVerbs(t *testing.T) map[string]bool {
+	t.Helper()
+	f, err := os.Open("PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ok := strings.CutPrefix(sc.Text(), "### ")
+		if !ok {
+			continue
+		}
+		name = strings.TrimSpace(name)
+		if name != "" && name == strings.ToUpper(name) && !strings.Contains(name, " ") {
+			out[name] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 func lintFile(t *testing.T, fset *token.FileSet, f *ast.File) {

@@ -820,6 +820,42 @@ func E15ScaleTier(scale Scale) (*Table, error) {
 	return t, nil
 }
 
+// E16NetworkedService measures the networked service tier (remote.go): an
+// in-process blinkd server driven over loopback TCP at each connection
+// count and pipeline depth, against the embedded direct-API baseline at
+// the same concurrency. The embedded/net gap prices the wire layer; the
+// depth-1/depth-32 gap prices round trips versus pipelining.
+func E16NetworkedService(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E16",
+		Title:  "networked service: embedded vs blinkd over loopback",
+		Header: []string{"mode", "conns", "pipeline", "ops", "ops/s", "errors"},
+	}
+	cfg := NetConfig{Ops: scale.Ops}
+	if scale.Ops <= Quick.Ops {
+		// Quick scale: trim the sweep so the cell count stays cheap.
+		cfg.Conns = []int{1, 4, 16}
+		cfg.Ops = scale.Ops / 2
+	}
+	rep, err := RunNet(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E16: %w", err)
+	}
+	for _, res := range rep.Results {
+		pipe := "-"
+		if res.Mode == "net" {
+			pipe = fmt.Sprint(res.Pipeline)
+		}
+		t.AddRow(res.Mode, res.Conns, pipe, res.Ops, int(res.Throughput), res.Errors)
+	}
+	if desc, err := rep.GatePipeline(16, 2.0); err == nil {
+		t.Note("pipeline gate: %s", desc)
+	}
+	t.Note("embedded rows call the public API directly (pipeline '-'); net rows cross loopback TCP")
+	t.Note("depth-1 pays one round trip per op; blinkbench -net -out BENCH_net.json persists the report")
+	return t, nil
+}
+
 // Experiments maps experiment IDs to their implementations.
 var Experiments = map[string]func(Scale) (*Table, error){
 	"E1":  E1Throughput,
@@ -837,7 +873,8 @@ var Experiments = map[string]func(Scale) (*Table, error){
 	"E13": E13CrashConsistency,
 	"E14": E14SkewTolerance,
 	"E15": E15ScaleTier,
+	"E16": E16NetworkedService,
 }
 
 // ExperimentIDs lists experiment IDs in order.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}

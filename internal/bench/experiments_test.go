@@ -473,7 +473,7 @@ func TestSkewReportGatesAndJSON(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 15 {
+	if len(ExperimentIDs) != 16 {
 		t.Fatalf("%d experiment IDs", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {

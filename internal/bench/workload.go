@@ -97,6 +97,17 @@ func (d Dist) String() string {
 	}
 }
 
+// ParseDist parses a distribution name as rendered by Dist.String
+// (uniform, zipf, sequential, hotspot, moving-hotspot, seq-append).
+func ParseDist(s string) (Dist, error) {
+	for d := Uniform; d <= SeqAppend; d++ {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown distribution %q (uniform, zipf, sequential, hotspot, moving-hotspot, seq-append)", s)
+}
+
 // Spec describes a workload.
 type Spec struct {
 	// KeySpace is the number of distinct keys.

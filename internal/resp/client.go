@@ -1,0 +1,178 @@
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a pipelining blinkd client over one TCP connection. It is not
+// safe for concurrent use: the load generator gives each worker goroutine
+// its own Client, mirroring the server's one-connection-one-session model.
+//
+// The low-level surface is Send/Flush/Recv — queue any number of commands,
+// flush them in one write, then read the replies in order; that is the
+// protocol's pipelining contract (PROTOCOL.md). Do and the typed helpers
+// (Get, Set, Del, Ping) are one-round-trip conveniences built on it.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	maxBulk int
+	pending int
+}
+
+// Dial connects to a blinkd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+}
+
+// SetMaxBulk caps the length of a single bulk string this client will
+// accept in a reply (0 means DefaultMaxBulk).
+func (c *Client) SetMaxBulk(n int) { c.maxBulk = n }
+
+// SetDeadline sets the connection's read+write deadline (zero clears it).
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Close closes the connection. Commands queued but not flushed are lost;
+// the server aborts any open transaction when it observes the close.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Pending returns the number of commands sent (or queued) whose replies
+// have not been received yet.
+func (c *Client) Pending() int { return c.pending }
+
+// Send queues one command in the write buffer without flushing. A large
+// buffered batch may be written to the socket early by bufio; that is
+// harmless — replies are still read in order by Recv.
+func (c *Client) Send(args ...[]byte) error {
+	frame := AppendCommand(nil, args...)
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// SendStr is Send with string arguments.
+func (c *Client) SendStr(args ...string) error {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Send(bs...)
+}
+
+// Flush writes every queued command to the socket.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads the next reply in pipeline order. Error replies are returned
+// as a Reply with Kind KindError and a nil error; a non-nil error means
+// the transport or framing failed and the connection is unusable.
+func (c *Client) Recv() (Reply, error) {
+	rep, err := ReadReply(c.br, c.maxBulk)
+	if err != nil {
+		return Reply{}, err
+	}
+	c.pending--
+	return rep, nil
+}
+
+// Do sends one command, flushes, and reads its reply. It must not be
+// called with earlier sent-but-unreceived commands outstanding (the reply
+// read would not be this command's); Do panics on that misuse.
+func (c *Client) Do(args ...[]byte) (Reply, error) {
+	if c.pending != 0 {
+		panic(fmt.Sprintf("resp: Do with %d pipelined replies outstanding", c.pending))
+	}
+	if err := c.Send(args...); err != nil {
+		return Reply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return c.Recv()
+}
+
+// DoStr is Do with string arguments.
+func (c *Client) DoStr(args ...string) (Reply, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Do(bs...)
+}
+
+// Ping round-trips a PING and checks for +PONG.
+func (c *Client) Ping() error {
+	rep, err := c.DoStr("PING")
+	if err != nil {
+		return err
+	}
+	if rep.IsError() {
+		return rep.Err()
+	}
+	if rep.Kind != KindSimple || rep.Str != "PONG" {
+		return fmt.Errorf("resp: unexpected PING reply %+v", rep)
+	}
+	return nil
+}
+
+// Set round-trips SET key val.
+func (c *Client) Set(key, val []byte) error {
+	rep, err := c.Do([]byte("SET"), key, val)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// Get round-trips GET key; ok is false when the key is absent.
+func (c *Client) Get(key []byte) (val []byte, ok bool, err error) {
+	rep, err := c.Do([]byte("GET"), key)
+	if err != nil {
+		return nil, false, err
+	}
+	if rep.IsError() {
+		return nil, false, rep.Err()
+	}
+	if rep.Null {
+		return nil, false, nil
+	}
+	return rep.Bulk, true, nil
+}
+
+// Del round-trips DEL key; deleted is false when the key was absent.
+func (c *Client) Del(key []byte) (deleted bool, err error) {
+	rep, err := c.Do([]byte("DEL"), key)
+	if err != nil {
+		return false, err
+	}
+	if rep.IsError() {
+		return false, rep.Err()
+	}
+	return rep.Int == 1, nil
+}

@@ -1,0 +1,395 @@
+// Package resp implements the blinkd wire protocol: a RESP-style framing
+// shared by the server (internal/server), the load-generating client
+// (internal/bench, blinkbench -remote) and any external tool. The complete
+// protocol — framing, verbs, reply types, error codes, pipelining and
+// transaction semantics — is specified in PROTOCOL.md at the repository
+// root; this package is the codec that document describes.
+//
+// Requests are arrays of bulk strings ("*<n>\r\n" then n of
+// "$<len>\r\n<bytes>\r\n"); replies are simple strings, errors, integers,
+// bulk strings (with a null form) and arrays. Encoders are append-style so
+// callers can batch many frames into one buffer and write it in a single
+// syscall — the pipelining the protocol is designed around.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol limits. They bound memory a peer can demand before any
+// application code runs; a frame exceeding them is a protocol error.
+const (
+	// MaxArgs is the maximum number of elements in a command array
+	// (verb included). No blinkd verb takes more than 4.
+	MaxArgs = 16
+	// DefaultMaxBulk is the default cap on a single bulk string's length,
+	// far above anything a 4KiB-page tree accepts but finite.
+	DefaultMaxBulk = 8 << 20
+	// maxHeaderLine bounds a type-prefix line ("*n", "$n", ":n").
+	maxHeaderLine = 32
+	// maxTextLine bounds a simple-string or error line.
+	maxTextLine = 512
+	// maxArrayElems bounds a reply array (a SCAN reply holds 2 elements
+	// per record).
+	maxArrayElems = 1 << 20
+	// maxReplyDepth bounds reply-array nesting; the protocol never nests
+	// beyond one level but the reader refuses pathological frames.
+	maxReplyDepth = 4
+)
+
+// ErrProto marks a malformed frame. Errors returned by the readers wrap it
+// (errors.Is(err, ErrProto)); the server answers with a -PROTO error and
+// closes the connection.
+var ErrProto = errors.New("protocol error")
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProto, fmt.Sprintf(format, args...))
+}
+
+// Kind identifies a reply's type by its wire prefix byte.
+type Kind byte
+
+// Reply kinds, named by their type-prefix byte.
+const (
+	// KindSimple is a "+..." simple string (e.g. +OK, +PONG).
+	KindSimple Kind = '+'
+	// KindError is a "-CODE message" error reply.
+	KindError Kind = '-'
+	// KindInt is a ":n" signed integer.
+	KindInt Kind = ':'
+	// KindBulk is a "$n" bulk string; length -1 is the null bulk.
+	KindBulk Kind = '$'
+	// KindArray is a "*n" array of replies.
+	KindArray Kind = '*'
+)
+
+// Reply is one decoded server reply.
+type Reply struct {
+	// Kind selects which of the remaining fields is meaningful.
+	Kind Kind
+	// Str holds a simple string's text, or an error's full "CODE message"
+	// text.
+	Str string
+	// Int holds an integer reply's value.
+	Int int64
+	// Bulk holds a bulk reply's bytes; nil when Null is set.
+	Bulk []byte
+	// Null reports the null bulk ($-1), the protocol's "no value".
+	Null bool
+	// Array holds an array reply's elements.
+	Array []Reply
+}
+
+// IsError reports whether the reply is an error reply.
+func (r Reply) IsError() bool { return r.Kind == KindError }
+
+// ErrorCode returns an error reply's leading code token ("ERR", "TXN",
+// "ABORTED", "PROTO"), or "" for non-error replies.
+func (r Reply) ErrorCode() string {
+	if r.Kind != KindError {
+		return ""
+	}
+	for i := 0; i < len(r.Str); i++ {
+		if r.Str[i] == ' ' {
+			return r.Str[:i]
+		}
+	}
+	return r.Str
+}
+
+// Err converts an error reply into a *ServerError, nil otherwise.
+func (r Reply) Err() error {
+	if r.Kind != KindError {
+		return nil
+	}
+	return &ServerError{Text: r.Str}
+}
+
+// ServerError is an in-band error reply ("-CODE message") surfaced as a Go
+// error by the client helpers.
+type ServerError struct {
+	// Text is the full error line as sent, code included.
+	Text string
+}
+
+// Error returns the full error text.
+func (e *ServerError) Error() string { return e.Text }
+
+// Code returns the leading code token of the error text.
+func (e *ServerError) Code() string { return Reply{Kind: KindError, Str: e.Text}.ErrorCode() }
+
+// AppendCommand appends the frame for a command (an array of bulk strings)
+// to dst and returns the extended buffer.
+func AppendCommand(dst []byte, args ...[]byte) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(len(args)), 10)
+	dst = append(dst, '\r', '\n')
+	for _, a := range args {
+		dst = appendBulkBody(dst, a)
+	}
+	return dst
+}
+
+// AppendSimple appends a "+s" simple-string reply.
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendError appends a "-CODE msg" error reply. The code is the
+// machine-readable first token (PROTOCOL.md lists them); msg must not
+// contain CR or LF (the encoder replaces them with spaces).
+func AppendError(dst []byte, code, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, code...)
+	if msg != "" {
+		dst = append(dst, ' ')
+		for i := 0; i < len(msg); i++ {
+			c := msg[i]
+			if c == '\r' || c == '\n' {
+				c = ' '
+			}
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '\r', '\n')
+}
+
+// AppendInt appends a ":n" integer reply.
+func AppendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, '\r', '\n')
+}
+
+// AppendBulk appends a "$len" bulk-string reply.
+func AppendBulk(dst []byte, b []byte) []byte { return appendBulkBody(dst, b) }
+
+// AppendNull appends the "$-1" null bulk reply (key absent).
+func AppendNull(dst []byte) []byte { return append(dst, '$', '-', '1', '\r', '\n') }
+
+// AppendArrayHeader appends a "*n" array header; the caller appends the n
+// element replies after it.
+func AppendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '\r', '\n')
+}
+
+func appendBulkBody(dst, b []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, b...)
+	return append(dst, '\r', '\n')
+}
+
+// ReadCommand reads one command frame: an array of 1..MaxArgs bulk strings,
+// each at most maxBulk bytes (0 means DefaultMaxBulk). A clean EOF at a
+// frame boundary returns io.EOF; EOF inside a frame returns
+// io.ErrUnexpectedEOF; any malformed byte returns an error wrapping
+// ErrProto.
+func ReadCommand(r *bufio.Reader, maxBulk int) ([][]byte, error) {
+	if maxBulk <= 0 {
+		maxBulk = DefaultMaxBulk
+	}
+	line, err := readLine(r, maxHeaderLine, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, protoErrf("expected array header, got %q", clip(line))
+	}
+	n, err := parseLen(line[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 || n > MaxArgs {
+		return nil, protoErrf("command array length %d out of range [1,%d]", n, MaxArgs)
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := readBulk(r, maxBulk)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, protoErrf("null bulk string inside command")
+		}
+		args = append(args, b)
+	}
+	return args, nil
+}
+
+// ReadReply reads one reply frame. Bulk payloads are capped at maxBulk
+// bytes (0 means DefaultMaxBulk).
+func ReadReply(r *bufio.Reader, maxBulk int) (Reply, error) {
+	if maxBulk <= 0 {
+		maxBulk = DefaultMaxBulk
+	}
+	return readReply(r, maxBulk, 0)
+}
+
+func readReply(r *bufio.Reader, maxBulk, depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, protoErrf("reply nesting exceeds %d", maxReplyDepth)
+	}
+	prefix, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF && depth > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return Reply{}, err
+	}
+	switch Kind(prefix) {
+	case KindSimple, KindError:
+		line, err := readLine(r, maxTextLine, false)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: Kind(prefix), Str: string(line)}, nil
+	case KindInt:
+		line, err := readLine(r, maxHeaderLine, false)
+		if err != nil {
+			return Reply{}, err
+		}
+		v, perr := strconv.ParseInt(string(line), 10, 64)
+		if perr != nil {
+			return Reply{}, protoErrf("bad integer reply %q", clip(line))
+		}
+		return Reply{Kind: KindInt, Int: v}, nil
+	case KindBulk:
+		if err := r.UnreadByte(); err != nil {
+			return Reply{}, err
+		}
+		b, err := readBulk(r, maxBulk)
+		if err != nil {
+			return Reply{}, err
+		}
+		if b == nil {
+			return Reply{Kind: KindBulk, Null: true}, nil
+		}
+		return Reply{Kind: KindBulk, Bulk: b}, nil
+	case KindArray:
+		line, err := readLine(r, maxHeaderLine, false)
+		if err != nil {
+			return Reply{}, err
+		}
+		n, err := parseLen(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n < 0 || n > maxArrayElems {
+			return Reply{}, protoErrf("array length %d out of range", n)
+		}
+		rep := Reply{Kind: KindArray, Array: make([]Reply, 0, min(n, 64))}
+		for i := 0; i < n; i++ {
+			el, err := readReply(r, maxBulk, depth+1)
+			if err != nil {
+				return Reply{}, err
+			}
+			rep.Array = append(rep.Array, el)
+		}
+		return rep, nil
+	default:
+		return Reply{}, protoErrf("unknown reply prefix %q", prefix)
+	}
+}
+
+// readBulk reads a "$len\r\npayload\r\n" frame; a $-1 header returns
+// (nil, nil) — the null bulk.
+func readBulk(r *bufio.Reader, maxBulk int) ([]byte, error) {
+	line, err := readLine(r, maxHeaderLine, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, protoErrf("expected bulk header, got %q", clip(line))
+	}
+	if len(line) == 3 && line[1] == '-' && line[2] == '1' {
+		return nil, nil
+	}
+	n, err := parseLen(line[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxBulk {
+		return nil, protoErrf("bulk length %d out of range [0,%d]", n, maxBulk)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, protoErrf("bulk payload not terminated by CRLF")
+	}
+	return buf[:n:n], nil
+}
+
+// readLine reads up to CRLF, returning the line without the terminator.
+// atBoundary marks a position where clean EOF is expected (between
+// commands); elsewhere EOF becomes io.ErrUnexpectedEOF.
+func readLine(r *bufio.Reader, limit int, atBoundary bool) ([]byte, error) {
+	var line []byte
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && (!atBoundary || len(line) > 0) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if b == '\n' {
+			if len(line) == 0 || line[len(line)-1] != '\r' {
+				return nil, protoErrf("line terminated by bare LF")
+			}
+			return line[:len(line)-1], nil
+		}
+		if len(line) >= limit {
+			return nil, protoErrf("line exceeds %d bytes", limit)
+		}
+		line = append(line, b)
+	}
+}
+
+// parseLen parses a strictly-decimal non-negative length field. Leading
+// zeros, signs and empty fields are protocol errors so every valid frame
+// has exactly one encoding (the fuzz round-trip relies on this).
+func parseLen(b []byte) (int, error) {
+	if len(b) == 0 || len(b) > 10 {
+		return 0, protoErrf("bad length %q", clip(b))
+	}
+	if b[0] == '0' && len(b) > 1 {
+		return 0, protoErrf("length has leading zero: %q", clip(b))
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, protoErrf("bad length %q", clip(b))
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 32 {
+		return b[:32]
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{[]byte("PING")},
+		{[]byte("GET"), []byte("k")},
+		{[]byte("SET"), []byte("key"), []byte("value with spaces\r\nand CRLF")},
+		{[]byte("SET"), []byte{0, 1, 2, 255}, {}},
+		{[]byte("SCAN"), []byte(""), []byte(""), []byte("100")},
+	}
+	for _, args := range cases {
+		frame := AppendCommand(nil, args...)
+		got, err := ReadCommand(bufio.NewReader(bytes.NewReader(frame)), 0)
+		if err != nil {
+			t.Fatalf("ReadCommand(%q): %v", frame, err)
+		}
+		if len(got) != len(args) {
+			t.Fatalf("arg count %d, want %d", len(got), len(args))
+		}
+		for i := range args {
+			if !bytes.Equal(got[i], args[i]) {
+				t.Fatalf("arg %d = %q, want %q", i, got[i], args[i])
+			}
+		}
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	cases := []struct {
+		name, frame string
+	}{
+		{"bare LF", "*1\n$4\nPING\n"},
+		{"not array", "+PING\r\n"},
+		{"zero args", "*0\r\n"},
+		{"too many args", "*17\r\n"},
+		{"negative args", "*-1\r\n"},
+		{"leading zero", "*01\r\n"},
+		{"null arg", "*1\r\n$-1\r\n"},
+		{"bulk too long", "*1\r\n$99999999\r\nx\r\n"},
+		{"bulk bad terminator", "*1\r\n$4\r\nPINGXX"},
+		{"garbage", "\x00\x01\x02\r\n"},
+	}
+	for _, c := range cases {
+		_, err := ReadCommand(bufio.NewReader(strings.NewReader(c.frame)), 1<<20)
+		if !errors.Is(err, ErrProto) {
+			t.Errorf("%s: err = %v, want ErrProto", c.name, err)
+		}
+	}
+
+	// Clean EOF at a boundary is io.EOF; EOF mid-frame is unexpected.
+	if _, err := ReadCommand(bufio.NewReader(strings.NewReader("")), 0); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	if _, err := ReadCommand(bufio.NewReader(strings.NewReader("*2\r\n$4\r\nPING\r\n")), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var frame []byte
+	frame = AppendSimple(frame, "OK")
+	frame = AppendError(frame, "TXN", "no transaction\r\nopen")
+	frame = AppendInt(frame, -42)
+	frame = AppendBulk(frame, []byte("value"))
+	frame = AppendNull(frame)
+	frame = AppendArrayHeader(frame, 2)
+	frame = AppendBulk(frame, []byte("k"))
+	frame = AppendBulk(frame, []byte("v"))
+
+	r := bufio.NewReader(bytes.NewReader(frame))
+	read := func() Reply {
+		t.Helper()
+		rep, err := ReadReply(r, 0)
+		if err != nil {
+			t.Fatalf("ReadReply: %v", err)
+		}
+		return rep
+	}
+
+	if rep := read(); rep.Kind != KindSimple || rep.Str != "OK" {
+		t.Fatalf("simple = %+v", rep)
+	}
+	rep := read()
+	if !rep.IsError() || rep.ErrorCode() != "TXN" {
+		t.Fatalf("error = %+v", rep)
+	}
+	if strings.ContainsAny(rep.Str, "\r\n") {
+		t.Fatalf("error text leaked CRLF: %q", rep.Str)
+	}
+	var se *ServerError
+	if err := rep.Err(); !errors.As(err, &se) || se.Code() != "TXN" {
+		t.Fatalf("Err() = %v", err)
+	}
+	if rep := read(); rep.Kind != KindInt || rep.Int != -42 {
+		t.Fatalf("int = %+v", rep)
+	}
+	if rep := read(); rep.Kind != KindBulk || string(rep.Bulk) != "value" {
+		t.Fatalf("bulk = %+v", rep)
+	}
+	if rep := read(); rep.Kind != KindBulk || !rep.Null {
+		t.Fatalf("null = %+v", rep)
+	}
+	rep = read()
+	if rep.Kind != KindArray || len(rep.Array) != 2 ||
+		string(rep.Array[0].Bulk) != "k" || string(rep.Array[1].Bulk) != "v" {
+		t.Fatalf("array = %+v", rep)
+	}
+	if _, err := ReadReply(r, 0); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+// FuzzParseCommand feeds arbitrary bytes through the command parser: it
+// must never panic, and anything it accepts must re-encode to a frame that
+// parses to the same arguments (the codec round-trip invariant the server
+// and client both rely on).
+func FuzzParseCommand(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$0\r\n\r\n"))
+	f.Add([]byte("*4\r\n$4\r\nSCAN\r\n$0\r\n\r\n$0\r\n\r\n$3\r\n100\r\n"))
+	f.Add([]byte("*1\r\n$-1\r\n"))
+	f.Add([]byte("*0\r\n"))
+	f.Add([]byte("+OK\r\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBulk = 1 << 16
+		args, err := ReadCommand(bufio.NewReader(bytes.NewReader(data)), maxBulk)
+		if err != nil {
+			return
+		}
+		frame := AppendCommand(nil, args...)
+		again, err := ReadCommand(bufio.NewReader(bytes.NewReader(frame)), maxBulk)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded frame failed: %v (frame %q)", err, frame)
+		}
+		if len(again) != len(args) {
+			t.Fatalf("round trip arg count %d, want %d", len(again), len(args))
+		}
+		for i := range args {
+			if !bytes.Equal(again[i], args[i]) {
+				t.Fatalf("round trip arg %d = %q, want %q", i, again[i], args[i])
+			}
+		}
+	})
+}

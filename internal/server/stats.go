@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/obs"
+)
+
+// serverStats holds the server's own counters, kept separate from the
+// tree's metrics: the tree counts B-tree work, these count wire work.
+// Per-verb arrays are indexed by verb.idx (sorted verb-name order).
+type serverStats struct {
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	open        atomic.Uint64
+	idleClosed  atomic.Uint64
+	protoErrors atomic.Uint64
+	unknown     atomic.Uint64
+
+	commands    [verbCount]atomic.Uint64
+	verbLatency [verbCount]obs.Histogram
+
+	txnBegins        atomic.Uint64
+	txnCommits       atomic.Uint64
+	txnAborts        atomic.Uint64
+	disconnectAborts atomic.Uint64
+
+	pipelineMaxDepth atomic.Uint64
+	pipelineDepthSum atomic.Uint64
+	pipelineDepthObs atomic.Uint64
+}
+
+// verbCount is the number of registered wire verbs; the dispatch table in
+// server.go is the source of truth and init panics on a mismatch.
+const verbCount = 9
+
+func init() {
+	if len(verbs) != verbCount {
+		panic(fmt.Sprintf("server: verbCount %d does not match dispatch table (%d verbs)", verbCount, len(verbs)))
+	}
+}
+
+// noteDepth records one reply-queue depth sample (the pipeline depth seen
+// when a command's reply was enqueued).
+func (st *serverStats) noteDepth(d uint64) {
+	st.pipelineDepthSum.Add(d)
+	st.pipelineDepthObs.Add(1)
+	for {
+		cur := st.pipelineMaxDepth.Load()
+		if d <= cur || st.pipelineMaxDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's wire-level counters,
+// as exposed on the admin port (blinktree_server_* series) and via INFO.
+type Stats struct {
+	// Open is the current connection count; Accepted and Rejected are
+	// lifetime totals (Rejected counts over-limit accepts).
+	Open     uint64
+	Accepted uint64
+	Rejected uint64
+	// IdleClosed counts connections closed by the idle timeout.
+	IdleClosed uint64
+	// ProtoErrors counts connections dropped for malformed framing.
+	ProtoErrors uint64
+	// Unknown counts commands whose verb was not in the dispatch table.
+	Unknown uint64
+
+	// Commands maps each registered verb to its dispatch count; VerbLatency
+	// maps it to the execution-latency histogram (parse-to-reply-encoded).
+	Commands    map[string]uint64
+	VerbLatency map[string]obs.HistogramSnapshot
+
+	// TxnBegins/TxnCommits/TxnAborts count session transaction outcomes;
+	// DisconnectAborts counts transactions rolled back because their
+	// connection vanished mid-flight.
+	TxnBegins        uint64
+	TxnCommits       uint64
+	TxnAborts        uint64
+	DisconnectAborts uint64
+
+	// PipelineMaxDepth is the deepest reply queue observed on any
+	// connection; PipelineDepthSum/PipelineDepthObs give the average.
+	PipelineMaxDepth uint64
+	PipelineDepthSum uint64
+	PipelineDepthObs uint64
+}
+
+// Stats snapshots the server's wire-level counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Open:             s.stats.open.Load(),
+		Accepted:         s.stats.accepted.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		IdleClosed:       s.stats.idleClosed.Load(),
+		ProtoErrors:      s.stats.protoErrors.Load(),
+		Unknown:          s.stats.unknown.Load(),
+		Commands:         make(map[string]uint64, verbCount),
+		VerbLatency:      make(map[string]obs.HistogramSnapshot, verbCount),
+		TxnBegins:        s.stats.txnBegins.Load(),
+		TxnCommits:       s.stats.txnCommits.Load(),
+		TxnAborts:        s.stats.txnAborts.Load(),
+		DisconnectAborts: s.stats.disconnectAborts.Load(),
+		PipelineMaxDepth: s.stats.pipelineMaxDepth.Load(),
+		PipelineDepthSum: s.stats.pipelineDepthSum.Load(),
+		PipelineDepthObs: s.stats.pipelineDepthObs.Load(),
+	}
+	for _, name := range verbNames {
+		idx := verbs[name].idx
+		st.Commands[name] = s.stats.commands[idx].Load()
+		st.VerbLatency[name] = s.stats.verbLatency[idx].Snapshot()
+	}
+	return st
+}
+
+// CommandCount returns one verb's dispatch count (zero for an unregistered
+// verb). Tests poll it to detect that a command has started executing.
+func (s *Server) CommandCount(verbName string) uint64 {
+	v, ok := verbs[verbName]
+	if !ok {
+		return 0
+	}
+	return s.stats.commands[v.idx].Load()
+}
+
+// WritePrometheus appends the blinktree_server_* series for st in
+// Prometheus text exposition format. It complements (and is normally
+// concatenated after) blinkmetrics.WritePrometheus's tree series.
+func (st Stats) WritePrometheus(w io.Writer) error {
+	p := &statsPrinter{w: w}
+	p.header("blinktree_server_connections", "Currently open client connections.", "gauge")
+	p.line("blinktree_server_connections", "", st.Open)
+	p.header("blinktree_server_connections_total", "Connection lifecycle events.", "counter")
+	p.line("blinktree_server_connections_total", `event="accepted"`, st.Accepted)
+	p.line("blinktree_server_connections_total", `event="rejected"`, st.Rejected)
+	p.line("blinktree_server_connections_total", `event="idle_closed"`, st.IdleClosed)
+	p.line("blinktree_server_connections_total", `event="proto_error"`, st.ProtoErrors)
+	p.header("blinktree_server_commands_total", "Commands dispatched by verb.", "counter")
+	for _, name := range verbNames {
+		p.line("blinktree_server_commands_total", `verb="`+name+`"`, st.Commands[name])
+	}
+	p.line("blinktree_server_commands_total", `verb="UNKNOWN"`, st.Unknown)
+	p.header("blinktree_server_txn_total", "Session transaction outcomes.", "counter")
+	p.line("blinktree_server_txn_total", `event="begin"`, st.TxnBegins)
+	p.line("blinktree_server_txn_total", `event="commit"`, st.TxnCommits)
+	p.line("blinktree_server_txn_total", `event="abort"`, st.TxnAborts)
+	p.line("blinktree_server_txn_total", `event="disconnect_abort"`, st.DisconnectAborts)
+	p.header("blinktree_server_pipeline_depth_max", "Deepest per-connection reply queue observed.", "gauge")
+	p.line("blinktree_server_pipeline_depth_max", "", st.PipelineMaxDepth)
+	p.header("blinktree_server_pipeline_depth_sum", "Sum of reply-queue depth samples (one per command).", "counter")
+	p.line("blinktree_server_pipeline_depth_sum", "", st.PipelineDepthSum)
+	p.header("blinktree_server_pipeline_depth_count", "Number of reply-queue depth samples.", "counter")
+	p.line("blinktree_server_pipeline_depth_count", "", st.PipelineDepthObs)
+	p.header("blinktree_server_verb_latency_seconds", "Command execution latency by verb.", "histogram")
+	for _, name := range verbNames {
+		p.hist("blinktree_server_verb_latency_seconds", "verb", name, st.VerbLatency[name])
+	}
+	return p.err
+}
+
+// ExpvarDoc builds the "server" JSON sub-document the admin handler merges
+// into the expvar view next to the tree's metrics.
+func (st Stats) ExpvarDoc() map[string]any {
+	commands := make(map[string]any, verbCount+1)
+	latency := make(map[string]any, verbCount)
+	for _, name := range verbNames {
+		commands[name] = st.Commands[name]
+		h := st.VerbLatency[name]
+		latency[name] = map[string]any{
+			"count":   h.Count,
+			"mean_ns": int64(h.Mean()),
+			"p99_ns":  int64(h.Quantile(0.99)),
+		}
+	}
+	commands["UNKNOWN"] = st.Unknown
+	return map[string]any{
+		"connections": map[string]any{
+			"open":        st.Open,
+			"accepted":    st.Accepted,
+			"rejected":    st.Rejected,
+			"idle_closed": st.IdleClosed,
+			"proto_error": st.ProtoErrors,
+		},
+		"commands":     commands,
+		"verb_latency": latency,
+		"txns": map[string]any{
+			"begun":             st.TxnBegins,
+			"committed":         st.TxnCommits,
+			"aborted":           st.TxnAborts,
+			"disconnect_aborts": st.DisconnectAborts,
+		},
+		"pipeline": map[string]any{
+			"depth_max":   st.PipelineMaxDepth,
+			"depth_sum":   st.PipelineDepthSum,
+			"depth_count": st.PipelineDepthObs,
+		},
+	}
+}
+
+// statsPrinter accumulates Prometheus exposition lines, remembering the
+// first write error (mirrors blinkmetrics' internal writer).
+type statsPrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *statsPrinter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *statsPrinter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *statsPrinter) line(name, labels string, v uint64) {
+	if labels == "" {
+		p.printf("%s %d\n", name, v)
+	} else {
+		p.printf("%s{%s} %d\n", name, labels, v)
+	}
+}
+
+// hist emits one histogram with cumulative le buckets in seconds.
+func (p *statsPrinter) hist(name, labelKey, labelVal string, h obs.HistogramSnapshot) {
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if c == 0 && i != obs.HistBuckets-1 {
+			continue
+		}
+		le := "+Inf"
+		if i != obs.HistBuckets-1 {
+			le = fmt.Sprintf("%g", h.BucketBound(i).Seconds())
+		}
+		p.printf("%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, le, cum)
+	}
+	p.printf("%s_sum{%s=%q} %g\n", name, labelKey, labelVal, time.Duration(h.Sum).Seconds())
+	p.printf("%s_count{%s=%q} %d\n", name, labelKey, labelVal, h.Count)
+}
